@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (the radar-chart evaluation track).
+
+The paper's radars are demonstrative; this renders real normalised scores
+from a smoke-scale computation-limited run on HAR-BOX.
+"""
+
+from repro.experiments import fig1
+from repro.experiments.fig1 import _AXES, _HIGHER_BETTER
+from repro.experiments import format_radar
+
+
+def test_fig1(run_once):
+    rows = run_once(lambda: fig1.run(scale="smoke",
+                                                dataset="harbox"))
+    print()
+    print(format_radar(rows, _AXES, higher_better=_HIGHER_BETTER,
+                       title="Figure 1 (smoke radar scores)"))
+    assert len(rows) == 8

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (the measured model pool)."""
+
+from repro.experiments import fig3, format_table
+
+
+def test_fig3(run_once):
+    rows = run_once(lambda: fig3.run(scale="paper"))
+    print()
+    print(format_table(rows, title="Figure 3"))
+    assert len(rows) == 12   # 3 width methods x 4 multipliers
+    for method in ("fjord", "sheterofl", "fedrolex"):
+        series = [r for r in rows if r["method"] == method]
+        # Every measured quantity shrinks with the multiplier.
+        for column in ("params_M", "gflops", "memory_MB", "train_time_s"):
+            values = [r[column] for r in series]
+            assert values == sorted(values, reverse=True), (method, column)

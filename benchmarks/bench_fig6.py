@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (memory-limited MHFL).
+
+The paper's memory case targets the large models only: ResNet-101 on
+CIFAR-100 and ALBERT on Stack Overflow.
+"""
+
+from repro.experiments import fig6, format_table
+
+
+def test_fig6(run_once):
+    rows = run_once(lambda: fig6.run(scale="smoke"))
+    print()
+    print(format_table(rows, title="Figure 6 (smoke)"))
+    assert {r["dataset"] for r in rows} == {"cifar100", "stackoverflow"}
+    assert len(rows) == 8 * 2

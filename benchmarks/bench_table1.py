@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (method-dependent cost of x0.5 ResNet-101)."""
+
+from repro.experiments import format_table, table1
+
+
+def test_table1(run_once):
+    rows = run_once(lambda: table1.run(scale="paper"))
+    print()
+    print(format_table(rows, title="Table I"))
+    by_method = {r["method"]: r for r in rows}
+    assert set(by_method) == {"SHeteroFL", "DepthFL", "FedRolex", "FeDepth"}
+    # The paper's headline pattern: equal proportion, very different memory.
+    assert by_method["DepthFL"]["memory_MB"] > by_method["SHeteroFL"]["memory_MB"]
+    # Width methods land near the paper's 10.7M parameters.
+    assert 8.0 < by_method["SHeteroFL"]["params_M"] < 13.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (platform statistics grid)."""
+
+from repro.experiments import format_table, table2
+
+
+def test_table2(run_once):
+    rows = run_once(lambda: table2.run())
+    print()
+    print(format_table(rows, title="Table II"))
+    assert len(rows) == 8
+    levels = [r["hetero"] for r in rows]
+    assert levels.count("width") == 3
+    assert levels.count("depth") == 3
+    assert levels.count("topology") == 2

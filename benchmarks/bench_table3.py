@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table III (edge device inventory)."""
+
+from repro.experiments import format_table, table3
+
+
+def test_table3(run_once):
+    rows = run_once(lambda: table3.run())
+    print()
+    print(format_table(rows, title="Table III"))
+    assert len(rows) == 4
+    rpi = next(r for r in rows if r["device"] == "raspberry_pi_4b")
+    assert rpi["gpu"] == "none"

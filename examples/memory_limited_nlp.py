@@ -1,0 +1,32 @@
+"""Memory-limited MHFL on Stack Overflow with ALBERT (Figure 6's NLP column).
+
+The memory case assigns models by device tier (16 GB GPU / 4 GB GPU /
+no GPU, in market-share proportions).  The example shows the paper's key
+memory-case effect: DepthFL — strong under compute/communication limits —
+loses its edge because its activation-heavy variants do not fit small tiers,
+while FeDepth's segment training stays feasible.
+
+Run:  python examples/memory_limited_nlp.py
+"""
+
+from repro.constraints import ConstraintSpec
+from repro.experiments import format_table, run_one, run_suite
+
+
+def main() -> None:
+    spec = ConstraintSpec(constraints=("memory",))
+
+    print("Capacity levels assigned per algorithm (memory tiers binding):")
+    for name in ("depthfl", "fedepth", "sheterofl"):
+        result = run_one(name, "stackoverflow", spec, scale="demo", seed=0)
+        print(f"  {name:12s} {result.scenario.level_distribution()}")
+    print()
+
+    summaries = run_suite(["sheterofl", "depthfl", "fedepth"],
+                          "stackoverflow", spec, scale="demo", seed=0)
+    print(format_table([s.as_row() for s in summaries],
+                       title="Stack Overflow (ALBERT), memory-limited"))
+
+
+if __name__ == "__main__":
+    main()

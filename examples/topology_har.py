@@ -1,0 +1,35 @@
+"""Topology heterogeneity on UCI-HAR: FedProto vs Fed-ET.
+
+Each client runs an entirely different customized CNN (the HAR family);
+FedProto exchanges class prototypes, Fed-ET distils a server model from the
+ensemble.  The example prints each client's architecture and the per-device
+accuracies behind the stability metric.
+
+Run:  python examples/topology_har.py
+"""
+
+from repro.constraints import ConstraintSpec
+from repro.experiments import format_table, run_one
+
+
+def main() -> None:
+    spec = ConstraintSpec(constraints=("computation",))
+    rows = []
+    for name in ("fedproto", "fedet"):
+        result = run_one(name, "ucihar", spec, scale="demo", seed=0)
+        print(f"{name} architecture assignment: "
+              f"{result.scenario.level_distribution()}")
+        accs = result.history.final_device_accuracies
+        rows.append({
+            "algorithm": name,
+            "global_acc": round(result.final_accuracy, 4),
+            "device_acc_min": round(min(accs), 4),
+            "device_acc_max": round(max(accs), 4),
+            "stability_var": round(result.history.stability(), 6),
+        })
+    print()
+    print(format_table(rows, title="UCI-HAR topology heterogeneity"))
+
+
+if __name__ == "__main__":
+    main()

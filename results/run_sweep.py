@@ -1,0 +1,31 @@
+"""Demo-scale sweep driver: writes each figure's rows to results/ as JSON+txt.
+
+Ordered by importance so partial completion still records the key figures.
+"""
+import json, sys, time
+from repro.experiments import format_table
+
+def save(name, rows, title):
+    with open(f"results/{name}.json", "w") as f:
+        json.dump(rows, f, indent=1)
+    with open(f"results/{name}.txt", "w") as f:
+        f.write(format_table(rows, title=title) + "\n")
+    print(f"[{time.strftime('%H:%M:%S')}] saved {name} ({len(rows)} rows)", flush=True)
+
+which = sys.argv[1]
+t0 = time.time()
+if which == "a":
+    from repro.experiments import fig4, fig7
+    save("fig4_cifar100", fig4.run(scale="demo", datasets=["cifar100"]), "Fig4 CIFAR-100 (computation-limited, demo)")
+    save("fig4_harbox", fig4.run(scale="demo", datasets=["harbox"]), "Fig4 HAR-BOX (computation-limited, demo)")
+    save("fig4_agnews", fig4.run(scale="demo", datasets=["agnews"]), "Fig4 AG-News (computation-limited, demo)")
+    save("fig7", fig7.run(scale="demo", algorithms=["fjord", "sheterofl", "fedrolex", "fedepth", "depthfl"]), "Fig7 constraint combinations (demo)")
+elif which == "b":
+    from repro.experiments import fig6, fig8, fig9, fig5
+    save("fig6_cifar100", fig6.run(scale="demo", datasets=["cifar100"]), "Fig6 CIFAR-100 (memory-limited, demo)")
+    save("fig6_stackoverflow", fig6.run(scale="demo", datasets=["stackoverflow"]), "Fig6 Stack Overflow (memory-limited, demo)")
+    save("fig8", fig8.run(scale="demo", datasets=["cifar10"], algorithms=["sheterofl", "fedrolex", "depthfl", "fedepth"]), "Fig8 non-IID CIFAR-10 (demo)")
+    save("fig9", fig9.run(scale="demo", algorithms=["sheterofl", "fedrolex", "fedepth", "depthfl"]), "Fig9 scalability (demo)")
+    save("fig5_cifar100", fig5.run(scale="demo", datasets=["cifar100"]), "Fig5 CIFAR-100 (communication-limited, demo)")
+    save("fig5_ucihar", fig5.run(scale="demo", datasets=["ucihar"]), "Fig5 UCI-HAR (communication-limited, demo)")
+print("done", which, time.time() - t0, flush=True)

@@ -1,0 +1,9 @@
+"""Legacy setup shim: this offline environment has setuptools without the
+``wheel`` package, so PEP 660 editable installs fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` (or plain ``pip install -e .`` on a
+modern toolchain) uses this file instead. Configuration lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

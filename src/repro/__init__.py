@@ -1,0 +1,17 @@
+"""PracMHBench reproduction: model-heterogeneous federated learning under
+practical edge-device constraints (DAC 2025).
+
+Top-level convenience re-exports; see subpackages for full APIs:
+
+* :mod:`repro.autograd` / :mod:`repro.nn` — numpy training substrate
+* :mod:`repro.models` — sliceable model zoo (ResNet/MobileNet/Transformer/...)
+* :mod:`repro.data` — synthetic datasets + federated partitioners
+* :mod:`repro.hw` — device profiles, cost models, model pool
+* :mod:`repro.fl` — federated simulation engine
+* :mod:`repro.algorithms` — the eight MHFL algorithms + FedAvg baseline
+* :mod:`repro.constraints` — computation/communication/memory-limited cases
+* :mod:`repro.metrics` — the four PracMHBench metrics
+* :mod:`repro.experiments` — per-table/figure reproduction harnesses
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,38 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig4 [smoke|demo|paper]
+    python -m repro ablations demo
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+_ARTIFACTS = ["table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
+              "fig6", "fig7", "fig8", "fig9", "ablations"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("artifacts:", ", ".join(_ARTIFACTS))
+        return 0
+    artifact = argv[0]
+    if artifact not in _ARTIFACTS:
+        print(f"unknown artifact {artifact!r}; choose from {_ARTIFACTS}")
+        return 2
+    module = importlib.import_module(f"repro.experiments.{artifact}")
+    # Re-point sys.argv so each module's main() picks up the scale argument.
+    sys.argv = [f"repro.experiments.{artifact}"] + argv[1:]
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

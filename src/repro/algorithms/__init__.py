@@ -1,0 +1,23 @@
+"""The eight MHFL algorithms + homogeneous baseline (Table II)."""
+
+from .base import (ClientContext, RoundOutcome, MHFLAlgorithm,
+                   WIDTH_LEVELS, DEPTH_LEVELS, assign_levels_uniformly)
+from .fedavg import FedAvgSmallest
+from .fjord import Fjord
+from .heterofl import SHeteroFL
+from .fedrolex import FedRolex
+from .depthfl import DepthFL
+from .inclusivefl import InclusiveFL
+from .fedepth import FeDepth
+from .fedproto import FedProto, ProtoModel
+from .fedet import FedET
+from .registry import (ALGORITHMS, MHFL_ALGORITHMS, get_algorithm,
+                       algorithms_by_level)
+
+__all__ = [
+    "ClientContext", "RoundOutcome", "MHFLAlgorithm",
+    "WIDTH_LEVELS", "DEPTH_LEVELS", "assign_levels_uniformly",
+    "FedAvgSmallest", "Fjord", "SHeteroFL", "FedRolex",
+    "DepthFL", "InclusiveFL", "FeDepth", "FedProto", "ProtoModel", "FedET",
+    "ALGORITHMS", "MHFL_ALGORITHMS", "get_algorithm", "algorithms_by_level",
+]

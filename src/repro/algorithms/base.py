@@ -1,0 +1,277 @@
+"""Algorithm interface + shared machinery for parameter-averaging MHFL.
+
+Every algorithm binds together:
+
+* a **base model** — the server-side full model (its state dict is the
+  global state for parameter-averaging methods);
+* **clients** — shard + sampled device capability + the pool entry assigned
+  by the active constraint case;
+* a **variant space** — the capacity levels the method offers (width
+  multipliers, depth fractions, family members), measured into a
+  :class:`~repro.hw.ModelPool` that the constraint cases select from;
+* hooks — ``build_client_model`` (how a capacity level becomes a trainable
+  model + index maps), ``local_loss_fn`` (algorithm-specific objectives) and
+  ``post_aggregate`` (e.g. InclusiveFL's momentum distillation).
+
+The simulated clock charges each sampled client with *nominal* local
+training over its full shard (per the cost model) even when ``max_batches``
+caps the actual CPU work — the simulation runs a scaled-down computation but
+accounts paper-scale time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .. import autograd as ag
+from ..data.dataset import FederatedDataset, Subset
+from ..fl.client import LocalTrainConfig, train_local
+from ..fl.evaluate import accuracy
+from ..hw.cost_model import CostModel, DEFAULT_COST_MODEL
+from ..hw.ima import ClientCapability
+from ..hw.model_pool import ModelPool, PoolEntry
+from ..models.base import SliceableModel, depth_variant_of
+from ..models.slicing import (extract_substate, finalize_mean,
+                              scatter_accumulate, width_index_maps,
+                              zeros_like_state)
+
+__all__ = ["ClientContext", "RoundOutcome", "MHFLAlgorithm",
+           "WIDTH_LEVELS", "DEPTH_LEVELS", "assign_levels_uniformly"]
+
+#: The paper's four capacity proportions (Table II).
+WIDTH_LEVELS = (1.0, 0.75, 0.5, 0.25)
+DEPTH_LEVELS = (1.0, 0.75, 0.5, 0.25)
+
+
+@dataclass
+class ClientContext:
+    """One client's shard, device and assigned capacity level."""
+
+    client_id: int
+    shard: Subset
+    capability: ClientCapability
+    entry: PoolEntry
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.shard)
+
+
+@dataclass
+class RoundOutcome:
+    """What one federated round produced (consumed by the simulator)."""
+
+    slowest_client_s: float
+    mean_train_loss: float
+    extras: dict = field(default_factory=dict)
+
+
+def assign_levels_uniformly(pool: ModelPool,
+                            fleet: Sequence[ClientCapability],
+                            dataset: FederatedDataset,
+                            shards: Sequence[np.ndarray]) -> list[ClientContext]:
+    """Constraint-free assignment: cycle capacity levels across clients.
+
+    This reproduces the conventional MHFL setup the paper criticises (equal
+    proportions of x1.0 / x0.75 / x0.5 / x0.25 clients); the constraint cases
+    in :mod:`repro.constraints` replace it with budget-driven assignment.
+    """
+    entries = list(pool.entries)
+    contexts = []
+    for position, capability in enumerate(fleet):
+        entry = entries[position % len(entries)]
+        contexts.append(ClientContext(
+            client_id=capability.client_id,
+            shard=dataset.subset(shards[position]),
+            capability=capability, entry=entry))
+    return contexts
+
+
+class MHFLAlgorithm:
+    """Base class: coordinate-wise averaged MHFL (width & depth methods)."""
+
+    #: registry name, heterogeneity level, and slicing mode.
+    name: str = "base"
+    level: str = "width"              # "width" | "depth" | "topology" | "homogeneous"
+    slicing_mode: str = "prefix"      # "prefix" | "rolling"
+    #: whether NLP tasks are supported (the paper omits some methods on NLP).
+    supports_nlp: bool = True
+
+    #: overrides applied when the scenario builds the server-side base model
+    #: (DepthFL needs auxiliary heads at every stage boundary).
+    base_model_overrides: dict = {}
+
+    def __init__(self, base_model: SliceableModel, dataset: FederatedDataset,
+                 clients: Sequence[ClientContext],
+                 train_config: LocalTrainConfig | None = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 eval_max_samples: int = 512, eval_clients: int = 8,
+                 pool: ModelPool | None = None):
+        self.base_model = base_model
+        self.dataset = dataset
+        self.clients = {ctx.client_id: ctx for ctx in clients}
+        self.train_config = train_config or LocalTrainConfig()
+        self.cost_model = cost_model
+        self.eval_clients = eval_clients
+        self.pool = pool
+
+        self.global_state = base_model.state_dict()
+        self.global_shapes = {k: v.shape for k, v in self.global_state.items()}
+        self.scale_axes = base_model.state_scale_axes()
+
+        cap = min(eval_max_samples, dataset.num_test)
+        self.x_eval = dataset.x_test[:cap]
+        self.y_eval = dataset.y_test[:cap]
+        self._eval_model: SliceableModel | None = None
+
+    # ------------------------------------------------------------------
+    # Identity / plumbing
+    # ------------------------------------------------------------------
+    @property
+    def dataset_name(self) -> str:
+        return self.dataset.name
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    # ------------------------------------------------------------------
+    # Variant space / pool
+    # ------------------------------------------------------------------
+    @classmethod
+    def variant_space(cls, base_model: SliceableModel) -> dict[str, dict]:
+        """Capacity levels as ``key -> constructor overrides``."""
+        return {f"x{m:.2f}": {"width_mult": m} for m in WIDTH_LEVELS}
+
+    @classmethod
+    def build_pool(cls, base_model: SliceableModel,
+                   cost_model: CostModel = DEFAULT_COST_MODEL) -> ModelPool:
+        """Measure the variant space into a model pool."""
+        return ModelPool.from_variants(base_model,
+                                       cls.variant_space(base_model),
+                                       cost_model=cost_model)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def rolling_shift(self, round_index: int) -> int:
+        """Window shift for rolling extraction (FedRolex overrides)."""
+        return 0
+
+    def client_overrides(self, ctx: ClientContext, round_index: int,
+                         rng: np.random.Generator) -> dict:
+        """Constructor overrides for this client's model this round."""
+        return dict(ctx.entry.overrides)
+
+    def build_client_model(self, ctx: ClientContext, round_index: int,
+                           rng: np.random.Generator
+                           ) -> tuple[SliceableModel, dict]:
+        """Instantiate the client's variant and load its slice of the state."""
+        overrides = self.client_overrides(ctx, round_index, rng)
+        model = self.base_model.variant(**overrides)
+        maps = width_index_maps(
+            self.global_shapes,
+            {k: v.shape for k, v in model.state_dict().items()},
+            self.scale_axes, mode=self.slicing_mode,
+            shift=self.rolling_shift(round_index))
+        model.load_state_dict(extract_substate(self.global_state, maps))
+        self.prepare_client_model(model, ctx, round_index)
+        return model, maps
+
+    def prepare_client_model(self, model: SliceableModel, ctx: ClientContext,
+                             round_index: int) -> None:
+        """Post-load setup (FeDepth freezes a stage segment here)."""
+
+    def local_loss_fn(self, ctx: ClientContext, model: SliceableModel):
+        """Local objective; default cross-entropy on the deepest head."""
+        return None  # train_local's default CE
+
+    def post_aggregate(self, old_state: dict, round_index: int) -> None:
+        """Called after the global state is refreshed (InclusiveFL hook)."""
+
+    def upload_filter(self, model: SliceableModel,
+                      ctx: ClientContext) -> set[str] | None:
+        """State-dict names this client uploads (None = everything).
+
+        FeDepth restricts the upload to the stage segment it actually
+        trained, so frozen copies never dilute other clients' updates.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def client_payload_bytes(self, ctx: ClientContext) -> tuple[float, float]:
+        """(download, upload) bytes exchanged with the server per round."""
+        payload = ctx.entry.stats.param_bytes
+        return payload, payload
+
+    def client_round_time_s(self, ctx: ClientContext) -> float:
+        device = ctx.capability.as_device()
+        train = self.cost_model.training_time_s(
+            ctx.entry.stats, device, num_samples=ctx.num_samples,
+            local_epochs=self.train_config.local_epochs)
+        down, up = self.client_payload_bytes(ctx)
+        comm = down / ctx.capability.downlink_bps \
+            + up / ctx.capability.uplink_bps
+        return train + comm
+
+    # ------------------------------------------------------------------
+    # The round
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int, sampled_ids: Sequence[int],
+                  rng: np.random.Generator) -> RoundOutcome:
+        sums = zeros_like_state(self.global_state)
+        counts = zeros_like_state(self.global_state)
+        slowest = 0.0
+        losses = []
+        for client_id in sampled_ids:
+            ctx = self.clients[int(client_id)]
+            model, maps = self.build_client_model(ctx, round_index, rng)
+            loss = train_local(model, ctx.shard.x, ctx.shard.y,
+                               self.train_config, rng,
+                               loss_fn=self.local_loss_fn(ctx, model))
+            state = model.state_dict()
+            keep = self.upload_filter(model, ctx)
+            if keep is not None:
+                state = {k: v for k, v in state.items() if k in keep}
+                upload_maps = {k: m for k, m in maps.items() if k in keep}
+            else:
+                upload_maps = maps
+            scatter_accumulate(sums, counts, state, upload_maps,
+                               weight=float(ctx.num_samples))
+            slowest = max(slowest, self.client_round_time_s(ctx))
+            losses.append(loss)
+        old_state = self.global_state
+        self.global_state = finalize_mean(sums, counts, self.global_state)
+        self.post_aggregate(old_state, round_index)
+        return RoundOutcome(slowest_client_s=slowest,
+                            mean_train_loss=float(np.mean(losses)))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _global_model(self) -> SliceableModel:
+        if self._eval_model is None:
+            self._eval_model = self.base_model.variant()
+        self._eval_model.load_state_dict(self.global_state)
+        return self._eval_model
+
+    def evaluate_global(self) -> float:
+        """Global accuracy: the full aggregated model on the global test set."""
+        return accuracy(self._global_model(), self.x_eval, self.y_eval)
+
+    def per_device_accuracies(self) -> list[float]:
+        """Final accuracy of each evaluation client's own deployed variant."""
+        ids = sorted(self.clients)
+        stride = max(1, len(ids) // self.eval_clients)
+        rng = np.random.default_rng(0)
+        accs = []
+        for client_id in ids[::stride][:self.eval_clients]:
+            ctx = self.clients[client_id]
+            model, _ = self.build_client_model(ctx, round_index=0, rng=rng)
+            accs.append(accuracy(model, self.x_eval, self.y_eval))
+        return accs

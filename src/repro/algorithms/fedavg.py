@@ -1,0 +1,51 @@
+"""FedAvg on the smallest feasible model — the paper's effectiveness baseline.
+
+"A simple resource-aware homogeneous baseline (i.e., training the smallest
+homogeneous model across all heterogeneous devices)": every client trains the
+same model, sized so the most constrained participant can run it.  The
+*effectiveness* metric of every MHFL method is its final accuracy minus this
+baseline's.
+"""
+
+from __future__ import annotations
+
+from ..fl.evaluate import accuracy
+from ..models.slicing import extract_substate, width_index_maps
+from .base import MHFLAlgorithm
+
+__all__ = ["FedAvgSmallest"]
+
+
+class FedAvgSmallest(MHFLAlgorithm):
+    """Homogeneous FedAvg at the smallest feasible capacity level."""
+
+    name = "fedavg_smallest"
+    level = "homogeneous"
+    slicing_mode = "prefix"
+
+    # variant_space inherits the width levels so the constraint cases can
+    # determine each client's feasible set; the scenario then assigns every
+    # client the *minimum* feasible entry (see constraints.assignment).
+
+    def _common_entry(self):
+        entries = {ctx.entry.key: ctx.entry for ctx in self.clients.values()}
+        if len(entries) != 1:
+            raise ValueError(
+                "FedAvgSmallest expects a homogeneous assignment; got levels "
+                f"{sorted(entries)}")
+        return next(iter(entries.values()))
+
+    def evaluate_global(self) -> float:
+        """Evaluate the (single) deployed variant, not the full server model.
+
+        With a homogeneous x<1 assignment only the trained slice of the
+        global state is meaningful; evaluating the full model would mix
+        trained and never-touched coordinates.
+        """
+        entry = self._common_entry()
+        model = entry.build(self.base_model)
+        model_state_shapes = {k: v.shape for k, v in model.state_dict().items()}
+        maps = width_index_maps(self.global_shapes, model_state_shapes,
+                                self.scale_axes, mode="prefix")
+        model.load_state_dict(extract_substate(self.global_state, maps))
+        return accuracy(model, self.x_eval, self.y_eval)

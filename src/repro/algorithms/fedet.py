@@ -1,0 +1,143 @@
+"""Fed-ET (Cho et al., IJCAI'22): ensemble knowledge transfer.
+
+Topology heterogeneity with a server-side model: clients train personal
+models of their own architectures; the server collects their predictions on
+an unlabeled public transfer set, forms a confidence-weighted consensus, and
+distils it into the server model (weighted consensus distillation).  The
+consensus is also sent back so clients regularise toward it during local
+training (the transfer-back path).
+
+Global accuracy is the server model's accuracy — the cleanest realisation of
+the paper's "final federated model" for the topology level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autograd as ag
+from ..fl.client import train_local
+from ..fl.evaluate import accuracy
+from ..models.base import SliceableModel
+from .base import ClientContext, MHFLAlgorithm, RoundOutcome
+from .fedproto import topology_variant_space
+
+__all__ = ["FedET"]
+
+
+class FedET(MHFLAlgorithm):
+    """Server-model ensemble distillation across heterogeneous clients."""
+
+    name = "fedet"
+    level = "topology"
+
+    #: size of the unlabeled public transfer set.
+    public_size: int = 128
+    #: server distillation steps per round and learning rate.
+    server_steps: int = 10
+    server_lr: float = 2e-3
+    #: weight of the client-side consensus regulariser (transfer back).
+    transfer_weight: float = 0.3
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._personal: dict[int, SliceableModel] = {}
+        # Server model: the largest family member.
+        space = self.variant_space(self.base_model)
+        largest_key = list(space)[-1]
+        self.server_model = self.base_model.variant(**space[largest_key])
+        # Public transfer set: unlabeled samples from the task distribution.
+        rng = np.random.default_rng(17)
+        take = min(self.public_size, self.dataset.num_train)
+        idx = rng.choice(self.dataset.num_train, size=take, replace=False)
+        self.x_public = self.dataset.x_train[idx]
+        self._consensus: np.ndarray | None = None
+
+    @classmethod
+    def variant_space(cls, base_model: SliceableModel) -> dict[str, dict]:
+        return topology_variant_space(base_model)
+
+    # ------------------------------------------------------------------
+    def personal_model(self, ctx: ClientContext) -> SliceableModel:
+        model = self._personal.get(ctx.client_id)
+        if model is None:
+            model = ctx.entry.build(self.base_model)
+            model = model.variant(seed=2000 + ctx.client_id)
+            self._personal[ctx.client_id] = model
+        return model
+
+    def _client_loss(self, model: SliceableModel,
+                     rng: np.random.Generator):
+        consensus = self._consensus
+        mu = self.transfer_weight
+        x_public = self.x_public
+
+        def loss(m, xb, yb):
+            total = ag.cross_entropy(m(xb), yb)
+            if consensus is not None and mu > 0:
+                pick = rng.integers(0, len(x_public), size=min(16, len(x_public)))
+                total = total + mu * ag.soft_cross_entropy(
+                    m(x_public[pick]), consensus[pick])
+            return total
+
+        return loss
+
+    def run_round(self, round_index: int, sampled_ids, rng) -> RoundOutcome:
+        slowest = 0.0
+        losses = []
+        member_probs = []
+        member_weights = []
+        for client_id in sampled_ids:
+            ctx = self.clients[int(client_id)]
+            model = self.personal_model(ctx)
+            loss = train_local(model, ctx.shard.x, ctx.shard.y,
+                               self.train_config, rng,
+                               loss_fn=self._client_loss(model, rng))
+            losses.append(loss)
+            # Client predictions on the public transfer set.
+            model.eval()
+            with ag.no_grad():
+                probs = ag.softmax(model(self.x_public)).data
+            model.train()
+            member_probs.append(probs)
+            # Confidence weighting: more certain members count more.
+            member_weights.append(float(probs.max(axis=1).mean()))
+            slowest = max(slowest, self.client_round_time_s(ctx))
+
+        weights = np.asarray(member_weights)
+        weights = weights / weights.sum()
+        self._consensus = np.einsum("k,knc->nc", weights,
+                                    np.stack(member_probs))
+        self._distill_server(rng)
+        return RoundOutcome(slowest_client_s=slowest,
+                            mean_train_loss=float(np.mean(losses)))
+
+    def _distill_server(self, rng: np.random.Generator) -> None:
+        from .. import nn
+        optimizer = nn.Adam(self.server_model.parameters(), lr=self.server_lr)
+        for _ in range(self.server_steps):
+            pick = rng.integers(0, len(self.x_public),
+                                size=min(32, len(self.x_public)))
+            optimizer.zero_grad()
+            loss = ag.soft_cross_entropy(self.server_model(self.x_public[pick]),
+                                         self._consensus[pick])
+            loss.backward()
+            optimizer.step()
+
+    # ------------------------------------------------------------------
+    def client_payload_bytes(self, ctx: ClientContext) -> tuple[float, float]:
+        logits_bytes = self.public_size * self.dataset.num_classes * 4
+        # Down: consensus logits; up: client logits on the public set.
+        return float(logits_bytes), float(logits_bytes)
+
+    def evaluate_global(self) -> float:
+        return accuracy(self.server_model, self.x_eval, self.y_eval)
+
+    def per_device_accuracies(self) -> list[float]:
+        ids = sorted(self.clients)
+        stride = max(1, len(ids) // self.eval_clients)
+        accs = []
+        for client_id in ids[::stride][:self.eval_clients]:
+            model = self.personal_model(self.clients[client_id])
+            accs.append(accuracy(model, self.x_eval, self.y_eval))
+        return accs

@@ -1,0 +1,167 @@
+"""FedProto (Tan et al., AAAI'22): federated prototype learning.
+
+Topology heterogeneity: every client keeps a *personal* model of its own
+architecture (family member assigned by the constraint case); only class
+prototypes — mean embeddings per class in a shared projection space — are
+exchanged.  The local objective is cross-entropy plus an L2 pull of each
+sample's embedding toward the global prototype of its class.
+
+Because no global model exists, the paper's "global accuracy" is realised as
+the mean accuracy of the evaluation clients' personal models on the global
+test set (stability then reads off the same per-device accuracies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autograd as ag
+from .. import nn
+from ..models.base import SliceableModel
+from ..models.zoo import MODEL_FAMILIES
+from .base import ClientContext, MHFLAlgorithm, RoundOutcome, WIDTH_LEVELS
+from ..fl.client import train_local
+from ..fl.evaluate import accuracy
+
+__all__ = ["FedProto", "ProtoModel", "topology_variant_space"]
+
+
+def topology_variant_space(base_model: SliceableModel) -> dict[str, dict]:
+    """Family members as capacity levels; width fallback outside families.
+
+    The customized Transformer has no published family, so its "topologies"
+    are width-scaled customisations — matching the paper's note that some
+    methods/configurations do not apply to every task.
+    """
+    arch = base_model._build_kwargs.get("arch")
+    for members in MODEL_FAMILIES.values():
+        if arch in members:
+            return {name: {"arch": name} for name in members}
+    return {f"x{m:.2f}": {"width_mult": m} for m in WIDTH_LEVELS}
+
+
+class ProtoModel(nn.Module):
+    """Personal model: backbone + projection into the shared prototype space."""
+
+    def __init__(self, backbone: SliceableModel, proto_dim: int,
+                 num_classes: int, seed: int):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.backbone = backbone
+        self.proj = nn.Linear(backbone.feature_dim, proto_dim, rng,
+                              scale_in=False, scale_out=False)
+        self.head = nn.Linear(proto_dim, num_classes, rng,
+                              scale_in=False, scale_out=False)
+        self.pool_kind = backbone.pool_kind
+
+    def embed(self, x) -> ag.Tensor:
+        return self.proj(self.backbone.features(x))
+
+    def forward(self, x) -> ag.Tensor:
+        return self.head(ag.relu(self.embed(x)))
+
+    def trainable_parameters(self):
+        return [p for p in self.parameters() if p.requires_grad]
+
+
+class FedProto(MHFLAlgorithm):
+    """Prototype aggregation across heterogeneous architectures."""
+
+    name = "fedproto"
+    level = "topology"
+    supports_nlp = True
+
+    #: prototype-space dimension and regulariser weight (lambda).
+    proto_dim: int = 32
+    proto_weight: float = 1.0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._personal: dict[int, ProtoModel] = {}
+        self.global_protos = np.zeros(
+            (self.dataset.num_classes, self.proto_dim), dtype=np.float32)
+        self._proto_valid = np.zeros(self.dataset.num_classes, dtype=bool)
+
+    @classmethod
+    def variant_space(cls, base_model: SliceableModel) -> dict[str, dict]:
+        return topology_variant_space(base_model)
+
+    # ------------------------------------------------------------------
+    def personal_model(self, ctx: ClientContext) -> ProtoModel:
+        model = self._personal.get(ctx.client_id)
+        if model is None:
+            backbone = ctx.entry.build(self.base_model)
+            model = ProtoModel(backbone, self.proto_dim,
+                               self.dataset.num_classes,
+                               seed=1000 + ctx.client_id)
+            self._personal[ctx.client_id] = model
+        return model
+
+    def _proto_loss(self, model: ProtoModel):
+        weight = self.proto_weight
+        protos = self.global_protos
+        valid = self._proto_valid
+
+        def loss(m, xb, yb):
+            emb = model.embed(xb)
+            total = ag.cross_entropy(model.head(ag.relu(emb)), yb)
+            mask = valid[yb]
+            if weight > 0 and mask.any():
+                targets = protos[yb]
+                # Pull embeddings of valid classes toward their prototypes.
+                diff = emb - ag.Tensor(targets)
+                per_sample = (diff * diff).mean(axis=1)
+                total = total + weight * (per_sample * ag.Tensor(
+                    mask.astype(np.float32))).mean()
+            return total
+
+        return loss
+
+    def run_round(self, round_index: int, sampled_ids, rng) -> RoundOutcome:
+        proto_sums = np.zeros_like(self.global_protos)
+        proto_counts = np.zeros(self.dataset.num_classes)
+        slowest = 0.0
+        losses = []
+        for client_id in sampled_ids:
+            ctx = self.clients[int(client_id)]
+            model = self.personal_model(ctx)
+            loss = train_local(model, ctx.shard.x, ctx.shard.y,
+                               self.train_config, rng,
+                               loss_fn=self._proto_loss(model))
+            losses.append(loss)
+            # Local prototypes: mean embedding per present class.
+            with ag.no_grad():
+                model.eval()
+                emb = model.embed(ctx.shard.x).data
+                model.train()
+            for cls in np.unique(ctx.shard.y):
+                members = emb[ctx.shard.y == cls]
+                proto_sums[cls] += members.sum(axis=0)
+                proto_counts[cls] += len(members)
+            slowest = max(slowest, self.client_round_time_s(ctx))
+        updated = proto_counts > 0
+        self.global_protos[updated] = (
+            proto_sums[updated] / proto_counts[updated, None]).astype(np.float32)
+        self._proto_valid |= updated
+        return RoundOutcome(slowest_client_s=slowest,
+                            mean_train_loss=float(np.mean(losses)))
+
+    # ------------------------------------------------------------------
+    def client_payload_bytes(self, ctx: ClientContext) -> tuple[float, float]:
+        proto_bytes = self.global_protos.nbytes
+        return proto_bytes, proto_bytes
+
+    def _eval_ids(self) -> list[int]:
+        ids = sorted(self.clients)
+        stride = max(1, len(ids) // self.eval_clients)
+        return ids[::stride][:self.eval_clients]
+
+    def per_device_accuracies(self) -> list[float]:
+        accs = []
+        for client_id in self._eval_ids():
+            model = self.personal_model(self.clients[client_id])
+            accs.append(accuracy(model, self.x_eval, self.y_eval))
+        return accs
+
+    def evaluate_global(self) -> float:
+        return float(np.mean(self.per_device_accuracies()))

@@ -1,0 +1,24 @@
+"""FedRolex (Alam et al., NeurIPS'22): rolling sub-model extraction.
+
+Identical to HeteroFL except the sub-model occupies a *rolling window* of
+channels whose offset advances by one every round (with wrap-around), so
+every global coordinate is trained over time instead of only the prefix —
+FedRolex's fix for HeteroFL's untrained-tail problem.
+"""
+
+from __future__ import annotations
+
+from .base import MHFLAlgorithm
+
+__all__ = ["FedRolex"]
+
+
+class FedRolex(MHFLAlgorithm):
+    """Rolling-window width heterogeneity."""
+
+    name = "fedrolex"
+    level = "width"
+    slicing_mode = "rolling"
+
+    def rolling_shift(self, round_index: int) -> int:
+        return round_index

@@ -1,0 +1,21 @@
+"""SHeteroFL (Diao et al., ICLR'21 HeteroFL with static slimmable assignment).
+
+Each client statically owns the prefix slice matching its capacity level;
+aggregation is the per-coordinate count-weighted mean over the clients that
+hold each coordinate (HeteroFL's nested aggregation rule) — implemented by
+the shared machinery in :class:`~repro.algorithms.base.MHFLAlgorithm`.
+"""
+
+from __future__ import annotations
+
+from .base import MHFLAlgorithm
+
+__all__ = ["SHeteroFL"]
+
+
+class SHeteroFL(MHFLAlgorithm):
+    """Static slimmable HeteroFL: the canonical width-heterogeneity method."""
+
+    name = "sheterofl"
+    level = "width"
+    slicing_mode = "prefix"

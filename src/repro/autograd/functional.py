@@ -1,0 +1,377 @@
+"""Neural-network operators built on the autograd :class:`Tensor`.
+
+Includes the fused / structured operations that a layer library needs but that
+are awkward to express with elementwise primitives: im2col convolution,
+pooling, batch / layer normalisation, embeddings, softmax-family losses and
+dropout.  Every operator here is covered by numerical gradient checks in
+``tests/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import profiler
+from .tensor import Tensor, _send, as_tensor, is_grad_enabled
+
+__all__ = [
+    "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "batch_norm", "layer_norm", "embedding", "dropout",
+    "softmax", "log_softmax", "cross_entropy", "soft_cross_entropy",
+    "mse_loss", "linear",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col helpers (plain numpy)
+# ----------------------------------------------------------------------
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Rearrange NCHW ``x`` into (N, C, kh, kw, oh, ow) patch views (copy)."""
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
+            stride: int) -> np.ndarray:
+    """Scatter-add patch gradients back into an NCHW array (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    return x
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """Grouped 2-D convolution on NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, kh, kw)``;
+    depthwise convolution is ``groups == in_channels``.
+    """
+    n, c, h, w = x.shape
+    oc, cg, kh, kw = weight.shape
+    if c % groups or oc % groups:
+        raise ValueError(f"channels ({c}->{oc}) not divisible by groups={groups}")
+    if cg != c // groups:
+        raise ValueError(f"weight expects {cg} in-channels/group, input has {c // groups}")
+
+    xd = x.data
+    if padding:
+        xd = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (xd.shape[2] - kh) // stride + 1
+    ow = (xd.shape[3] - kw) // stride + 1
+
+    if profiler.profiling_active():
+        macs = n * oc * oh * ow * (c // groups) * kh * kw
+        profiler.add_flops(2 * macs, kind="conv2d")
+    cols = _im2col(xd, kh, kw, stride)                       # (N,C,kh,kw,oh,ow)
+    ocg = oc // groups
+    cols_g = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+    wmat = weight.data.reshape(groups, ocg, cg * kh * kw)
+    out = np.einsum("gok,ngkl->ngol", wmat, cols_g, optimize=True)
+    out = out.reshape(n, oc, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    padded_shape = xd.shape
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, groups, ocg, oh * ow)
+        dw = np.einsum("ngol,ngkl->gok", g, cols_g, optimize=True)
+        _send(weight, dw.reshape(weight.shape))
+        if bias is not None:
+            _send(bias, grad.sum(axis=(0, 2, 3)))
+        dcols = np.einsum("gok,ngol->ngkl", wmat, g, optimize=True)
+        dcols = dcols.reshape(n, c, kh, kw, oh, ow)
+        dxp = _col2im(dcols, padded_shape, kh, kw, stride)
+        if padding:
+            dxp = dxp[:, :, padding:-padding, padding:-padding]
+        _send(x, dxp)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+
+def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping max pooling (stride == kernel); H, W must divide."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    view = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = view.max(axis=(3, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        mask = view == out[:, :, :, None, :, None]
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        g = grad[:, :, :, None, :, None] * mask / counts
+        _send(x, g.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping average pooling (stride == kernel)."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    view = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = view.mean(axis=(3, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad[:, :, :, None, :, None] / (kernel * kernel)
+        g = np.broadcast_to(g, (n, c, oh, kernel, ow, kernel))
+        _send(x, g.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial axes, producing (N, C)."""
+    n, c, h, w = x.shape
+    out = x.data.mean(axis=(2, 3))
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad[:, :, None, None] / (h * w)
+        _send(x, np.broadcast_to(g, x.shape).copy())
+
+    return Tensor._make(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Normalisation
+# ----------------------------------------------------------------------
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1,
+               eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over NCHW (per-channel) or NC (per-feature) input.
+
+    ``running_mean``/``running_var`` are updated **in place** in training
+    mode, mirroring the usual framework contract.
+    """
+    if x.ndim == 4:
+        axes: tuple[int, ...] = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * xhat + beta.data.reshape(shape)
+
+    m = x.size // x.shape[1]
+
+    def backward(grad: np.ndarray) -> None:
+        _send(gamma, (grad * xhat).sum(axis=axes))
+        _send(beta, grad.sum(axis=axes))
+        if training:
+            g_sum = grad.sum(axis=axes, keepdims=True)
+            gx_sum = (grad * xhat).sum(axis=axes, keepdims=True)
+            dx = (gamma.data.reshape(shape) * inv_std.reshape(shape) / m) * (
+                m * grad - g_sum - xhat * gx_sum)
+        else:
+            dx = grad * gamma.data.reshape(shape) * inv_std.reshape(shape)
+        _send(x, dx)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean) * inv_std
+    out = gamma.data * xhat + beta.data
+    d = x.shape[-1]
+
+    def backward(grad: np.ndarray) -> None:
+        reduce_axes = tuple(range(x.ndim - 1))
+        _send(gamma, (grad * xhat).sum(axis=reduce_axes))
+        _send(beta, grad.sum(axis=reduce_axes))
+        gg = grad * gamma.data
+        g_sum = gg.sum(axis=-1, keepdims=True)
+        gx_sum = (gg * xhat).sum(axis=-1, keepdims=True)
+        dx = (inv_std / d) * (d * gg - g_sum - xhat * gx_sum)
+        _send(x, dx)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+# ----------------------------------------------------------------------
+# Embedding / linear
+# ----------------------------------------------------------------------
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by an integer index array."""
+    idx = np.asarray(indices)
+    out = weight.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, idx, grad)
+        _send(weight, full)
+
+    return Tensor._make(out, (weight,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight.T + bias`` with ``weight`` of shape (out, in).
+
+    Works for any leading batch shape; the contraction is over the last axis.
+    """
+    out = x.data @ weight.data.T
+    if profiler.profiling_active():
+        profiler.add_flops(2 * out.size * x.shape[-1], kind="linear")
+    if bias is not None:
+        out = out + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        x2 = x.data.reshape(-1, x.shape[-1])
+        g2 = grad.reshape(-1, weight.shape[0])
+        _send(weight, g2.T @ x2)
+        if bias is not None:
+            _send(bias, g2.sum(axis=0))
+        _send(x, (grad @ weight.data).reshape(x.shape))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+
+def _softmax_np(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def softmax(x: Tensor) -> Tensor:
+    out = _softmax_np(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out).sum(axis=-1, keepdims=True)
+        _send(x, out * (grad - dot))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    z = x.data - x.data.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
+    out = z - lse
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(out)
+        _send(x, grad - soft * grad.sum(axis=-1, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, K) and integer ``labels``."""
+    labels = np.asarray(labels)
+    n = logits.shape[0]
+    z = logits.data - logits.data.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
+    logp = z - lse
+    loss = -logp[np.arange(n), labels].mean()
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(logp)
+        soft[np.arange(n), labels] -= 1.0
+        _send(logits, grad * soft / n)
+
+    return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Mean cross-entropy against a fixed soft target distribution.
+
+    Gradient-equivalent to ``KL(target || softmax(logits))``; this is the
+    distillation loss used by DepthFL, InclusiveFL and Fed-ET.
+    """
+    target = np.asarray(target_probs, dtype=logits.dtype)
+    n = logits.shape[0]
+    z = logits.data - logits.data.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
+    logp = z - lse
+    loss = -(target * logp).sum(axis=-1).mean()
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(logp)
+        _send(logits, grad * (soft - target) / n)
+
+    return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error against a fixed target array."""
+    target = np.asarray(target.data if isinstance(target, Tensor) else target,
+                        dtype=pred.dtype)
+    diff = pred.data - target
+    loss = np.asarray((diff * diff).mean(), dtype=pred.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        _send(pred, grad * 2.0 * diff / diff.size)
+
+    return Tensor._make(loss, (pred,), backward)
+
+
+# ----------------------------------------------------------------------
+# Dropout
+# ----------------------------------------------------------------------
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout; identity in eval mode or when ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        _send(x, grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)

@@ -1,0 +1,56 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every operator the model zoo relies on:
+compare the analytic gradient produced by :meth:`Tensor.backward` against a
+central-difference estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(fn: Callable[[], Tensor], param: Tensor,
+                       eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data, dtype=np.float64)
+    flat = param.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn().item()
+        flat[i] = original - eps
+        lower = fn().item()
+        flat[i] = original
+        gflat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], params: Sequence[Tensor],
+                    atol: float = 1e-2, rtol: float = 5e-2,
+                    eps: float = 1e-3) -> None:
+    """Assert analytic and numerical gradients agree for every parameter.
+
+    ``fn`` must rebuild the graph on each call (so perturbed parameters take
+    effect) and return a scalar loss tensor.
+    """
+    for param in params:
+        param.zero_grad()
+    loss = fn()
+    loss.backward()
+    for index, param in enumerate(params):
+        assert param.grad is not None, f"param {index} received no gradient"
+        numeric = numerical_gradient(fn, param, eps=eps)
+        analytic = param.grad.astype(np.float64)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch for param {index} (shape {param.shape}): "
+                f"max abs diff {worst:.3e}")

@@ -1,0 +1,74 @@
+"""Lightweight op-level profiler: FLOPs and activation-memory accounting.
+
+The hardware cost models (:mod:`repro.hw`) need per-model FLOP counts and the
+total size of activations a training step must keep alive. Rather than
+maintaining per-architecture analytic formulas, we instrument the autograd
+ops: running a forward pass inside :func:`profile` counts multiply-accumulate
+operations (2 FLOPs each) for the matmul-like ops and records every op
+output's byte size (a faithful proxy for what backprop must retain).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+__all__ = ["profile", "ProfileReport", "add_flops", "add_activation_bytes",
+           "profiling_active"]
+
+
+@dataclass
+class ProfileReport:
+    """Counters collected during a profiled region."""
+
+    flops: int = 0
+    activation_bytes: int = 0
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_op(self, kind: str) -> None:
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+
+
+class _ProfilerState:
+    def __init__(self):
+        self.active = False
+        self.report: ProfileReport | None = None
+
+
+_STATE = _ProfilerState()
+
+
+def profiling_active() -> bool:
+    return _STATE.active
+
+
+def add_flops(count: int, kind: str = "op") -> None:
+    """Record ``count`` floating-point operations (no-op when not profiling)."""
+    if _STATE.active:
+        _STATE.report.flops += int(count)
+        _STATE.report.record_op(kind)
+
+
+def add_activation_bytes(nbytes: int) -> None:
+    """Record bytes of a produced activation (no-op when not profiling)."""
+    if _STATE.active:
+        _STATE.report.activation_bytes += int(nbytes)
+
+
+@contextlib.contextmanager
+def profile():
+    """Collect FLOPs / activation bytes for ops executed inside the block.
+
+    Yields the live :class:`ProfileReport`; nested profiling is not
+    supported (the inner block would steal the outer block's counters).
+    """
+    if _STATE.active:
+        raise RuntimeError("profiler does not support nesting")
+    report = ProfileReport()
+    _STATE.active = True
+    _STATE.report = report
+    try:
+        yield report
+    finally:
+        _STATE.active = False
+        _STATE.report = None

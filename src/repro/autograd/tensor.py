@@ -1,0 +1,514 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the lowest layer of the PracMHBench reproduction: a compact
+autograd engine that provides exactly the operations the model zoo needs
+(dense/conv layers, normalisation, attention, losses).  The design follows the
+classic tape-based approach: every :class:`Tensor` produced by an operation
+stores its parents and a closure that accumulates gradients into them.
+
+Only float computations are differentiated; integer label / index arrays are
+passed around as plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from . import profiler
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (eval / inference)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations should record the backward tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and backward tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless already a float
+        numpy array.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype not in (np.float32, np.float64):
+            array = array.astype(np.float32)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create an op output, wiring the tape only when grads are needed."""
+        if profiler.profiling_active():
+            profiler.add_activation_bytes(data.nbytes)
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs)
+        if needs:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order over the reachable graph.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                if node.requires_grad:
+                    node._accumulate(node_grad)
+                continue
+            # Op node: run its backward closure, which routes parent grads
+            # through the stash; merge them into the traversal state.
+            node._backward(node_grad)
+            for key, (parent, parent_grad) in _STASH.pending.items():
+                if parent._backward is None:
+                    if parent.requires_grad:
+                        parent._accumulate(parent_grad)
+                elif key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+            _STASH.pending = {}
+
+
+class _Stash:
+    """Per-process scratch space used to route gradients during backward."""
+
+    def __init__(self):
+        self.pending: dict[int, tuple[Tensor, np.ndarray]] = {}
+
+    def add(self, parent: Tensor, grad: np.ndarray) -> None:
+        key = id(parent)
+        if key in self.pending:
+            stored_parent, stored = self.pending[key]
+            self.pending[key] = (stored_parent, stored + grad)
+        else:
+            self.pending[key] = (parent, grad)
+
+
+_STASH = _Stash()
+
+
+def _send(parent: Tensor, grad: np.ndarray) -> None:
+    """Route ``grad`` toward ``parent`` (used by every op backward)."""
+    _STASH.add(parent, grad)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+def _binary(a: Tensor, b, forward, grad_a, grad_b) -> Tensor:
+    b = as_tensor(b)
+    data = forward(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad or a._backward is not None:
+            _send(a, _unbroadcast(grad_a(grad, a.data, b.data), a.shape))
+        if b.requires_grad or b._backward is not None:
+            _send(b, _unbroadcast(grad_b(grad, a.data, b.data), b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _unary(a: Tensor, forward, grad_fn) -> Tensor:
+    data = forward(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        _send(a, grad_fn(grad, a.data, data))
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _add(a: Tensor, b) -> Tensor:
+    return _binary(a, b, np.add,
+                   lambda g, x, y: g,
+                   lambda g, x, y: g)
+
+
+def _sub(a: Tensor, b) -> Tensor:
+    return _binary(a, b, np.subtract,
+                   lambda g, x, y: g,
+                   lambda g, x, y: -g)
+
+
+def _mul(a: Tensor, b) -> Tensor:
+    return _binary(a, b, np.multiply,
+                   lambda g, x, y: g * y,
+                   lambda g, x, y: g * x)
+
+
+def _div(a: Tensor, b) -> Tensor:
+    return _binary(a, b, np.divide,
+                   lambda g, x, y: g / y,
+                   lambda g, x, y: -g * x / (y * y))
+
+
+def _pow(a: Tensor, exponent: float) -> Tensor:
+    return _unary(a, lambda x: np.power(x, exponent),
+                  lambda g, x, out: g * exponent * np.power(x, exponent - 1))
+
+
+def _neg(a: Tensor) -> Tensor:
+    return _unary(a, np.negative, lambda g, x, out: -g)
+
+
+Tensor.__add__ = _add
+Tensor.__radd__ = _add
+Tensor.__sub__ = _sub
+Tensor.__rsub__ = lambda a, b: _add(_neg(a), b)
+Tensor.__mul__ = _mul
+Tensor.__rmul__ = _mul
+Tensor.__truediv__ = _div
+Tensor.__rtruediv__ = lambda a, b: _div(as_tensor(b), a)
+Tensor.__pow__ = _pow
+Tensor.__neg__ = _neg
+
+
+# ----------------------------------------------------------------------
+# Unary math
+# ----------------------------------------------------------------------
+
+def exp(a: Tensor) -> Tensor:
+    return _unary(a, np.exp, lambda g, x, out: g * out)
+
+
+def log(a: Tensor) -> Tensor:
+    return _unary(a, np.log, lambda g, x, out: g / x)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    return _unary(a, np.sqrt, lambda g, x, out: g * 0.5 / out)
+
+
+def tanh(a: Tensor) -> Tensor:
+    return _unary(a, np.tanh, lambda g, x, out: g * (1.0 - out * out))
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    def fwd(x):
+        return 1.0 / (1.0 + np.exp(-x))
+
+    return _unary(a, fwd, lambda g, x, out: g * out * (1.0 - out))
+
+
+def relu(a: Tensor) -> Tensor:
+    return _unary(a, lambda x: np.maximum(x, 0.0),
+                  lambda g, x, out: g * (x > 0))
+
+
+def relu6(a: Tensor) -> Tensor:
+    return _unary(a, lambda x: np.clip(x, 0.0, 6.0),
+                  lambda g, x, out: g * ((x > 0) & (x < 6.0)))
+
+
+def hardswish(a: Tensor) -> Tensor:
+    """x * relu6(x + 3) / 6, the MobileNetV3 activation."""
+
+    def fwd(x):
+        return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+    def grad_fn(g, x, out):
+        inner = np.clip(x + 3.0, 0.0, 6.0)
+        d = inner / 6.0 + x * ((x > -3.0) & (x < 3.0)) / 6.0
+        return g * d
+
+    return _unary(a, fwd, grad_fn)
+
+
+def gelu(a: Tensor) -> Tensor:
+    """Tanh-approximation GELU (as used by ALBERT/transformers)."""
+    c = np.sqrt(2.0 / np.pi).astype(np.float32)
+
+    def fwd(x):
+        return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+    def grad_fn(g, x, out):
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x * x)
+        return g * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+    return _unary(a, fwd, grad_fn)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def tsum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        _send(a, np.broadcast_to(g, a.shape).copy())
+
+    return Tensor._make(data, (a,), backward)
+
+
+def tmean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    if axis is None:
+        count = a.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.shape[i] for i in axis]))
+    else:
+        count = a.shape[axis]
+    return tsum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def tmax(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad
+        full = data
+        if not keepdims:
+            g = np.expand_dims(g, axis=axis)
+            full = np.expand_dims(data, axis=axis)
+        mask = (a.data == full)
+        # Split gradient equally between ties (rare for float activations).
+        counts = mask.sum(axis=axis, keepdims=True)
+        _send(a, g * mask / counts)
+
+    return Tensor._make(data, (a,), backward)
+
+
+Tensor.sum = tsum
+Tensor.mean = tmean
+Tensor.max = tmax
+Tensor.exp = exp
+Tensor.log = log
+Tensor.tanh = tanh
+Tensor.sqrt = sqrt
+
+
+# ----------------------------------------------------------------------
+# Shape ops
+# ----------------------------------------------------------------------
+
+def reshape(a: Tensor, *shape) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        _send(a, grad.reshape(a.shape))
+
+    return Tensor._make(data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Sequence[int]) -> Tensor:
+    axes = tuple(axes)
+    data = a.data.transpose(axes)
+    inverse = tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray) -> None:
+        _send(a, grad.transpose(inverse))
+
+    return Tensor._make(data, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        _send(a, full)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            _send(tensor, grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def pad2d(a: Tensor, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    if padding == 0:
+        return a
+    p = padding
+    data = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(grad: np.ndarray) -> None:
+        _send(a, grad[:, :, p:-p, p:-p])
+
+    return Tensor._make(data, (a,), backward)
+
+
+Tensor.reshape = reshape
+Tensor.transpose = transpose
+Tensor.__getitem__ = getitem
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    b = as_tensor(b)
+    data = a.data @ b.data
+    if profiler.profiling_active():
+        # MACs = output elements * contraction length; 2 FLOPs per MAC.
+        profiler.add_flops(2 * data.size * a.shape[-1], kind="matmul")
+
+    def backward(grad: np.ndarray) -> None:
+        if a.ndim == b.ndim == 2:
+            _send(a, grad @ b.data.T)
+            _send(b, a.data.T @ grad)
+        else:
+            # Batched matmul with broadcasting.
+            ga = grad @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ grad
+            _send(a, _unbroadcast(ga, a.shape))
+            _send(b, _unbroadcast(gb, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+Tensor.__matmul__ = matmul

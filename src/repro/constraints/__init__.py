@@ -1,0 +1,8 @@
+"""Practical device constraints: computation / communication / memory cases."""
+
+from .spec import ConstraintSpec, CONSTRAINT_KINDS
+from .assignment import ConstraintAssigner
+from .scenario import BuiltScenario, build_scenario
+
+__all__ = ["ConstraintSpec", "CONSTRAINT_KINDS", "ConstraintAssigner",
+           "BuiltScenario", "build_scenario"]

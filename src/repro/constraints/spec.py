@@ -1,0 +1,58 @@
+"""Constraint-case specifications (Section IV of the paper).
+
+A :class:`ConstraintSpec` names the active resource constraints and how
+their budgets are derived.  Budgets can be given absolutely (seconds /
+bytes — the natural choice at paper scale) or *relatively*: as a quantile of
+the fleet's cost for the largest pool entry, which keeps the constraint
+binding at any simulation scale (our tiny models would otherwise satisfy
+every absolute edge budget trivially).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ConstraintSpec", "CONSTRAINT_KINDS"]
+
+CONSTRAINT_KINDS = ("computation", "communication", "memory")
+
+#: Memory budget per fleet tier, as a fraction of the pool's largest entry's
+#: training memory.  Mirrors the paper's tiers: 16 GB devices train the
+#: largest model, 4 GB devices a mid one, CPU-only devices the smallest.
+DEFAULT_TIER_FACTORS = {"16gb_gpu": 1.05, "4gb_gpu": 0.60, "no_gpu": 0.35}
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """Which resources are limited and how tight the budgets are."""
+
+    constraints: tuple[str, ...] = ("computation",)
+    #: relative budgets: fleet quantile of the largest entry's cost.
+    deadline_quantile: float = 0.35
+    comm_quantile: float = 0.35
+    #: absolute overrides (seconds); None = derive from quantile.
+    round_deadline_s: float | None = None
+    comm_budget_s: float | None = None
+    #: memory case: relative tier budgets or absolute device memory.
+    tier_factors: dict = field(default_factory=lambda: dict(DEFAULT_TIER_FACTORS))
+    memory_absolute: bool = False
+    memory_batch_size: int = 8
+    memory_headroom: float = 0.8
+    local_epochs: int = 1
+
+    def __post_init__(self):
+        unknown = set(self.constraints) - set(CONSTRAINT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown constraints {sorted(unknown)}; "
+                             f"known: {CONSTRAINT_KINDS}")
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``"mem+comm"`` (Figure 7's x-axis)."""
+        short = {"computation": "comp", "communication": "comm",
+                 "memory": "mem"}
+        return "+".join(short[c] for c in self.constraints) or "none"
+
+    def with_constraints(self, *constraints: str) -> "ConstraintSpec":
+        from dataclasses import replace
+        return replace(self, constraints=tuple(constraints))

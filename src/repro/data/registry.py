@@ -1,0 +1,39 @@
+"""Dataset registry: build any of the six PracMHBench tasks by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .dataset import FederatedDataset
+from .synthetic_har import make_harbox_like, make_ucihar_like
+from .synthetic_images import make_cifar10_like, make_cifar100_like
+from .synthetic_text import make_agnews_like, make_stackoverflow_like
+
+__all__ = ["load_dataset", "DATASET_NAMES", "DATASET_TRACKS"]
+
+_LOADERS: dict[str, Callable[..., FederatedDataset]] = {
+    "cifar10": make_cifar10_like,
+    "cifar100": make_cifar100_like,
+    "agnews": make_agnews_like,
+    "stackoverflow": make_stackoverflow_like,
+    "harbox": make_harbox_like,
+    "ucihar": make_ucihar_like,
+}
+
+DATASET_NAMES = sorted(_LOADERS)
+
+#: Data-task tracks of Table II.
+DATASET_TRACKS = {
+    "cv": ["cifar10", "cifar100"],
+    "nlp": ["agnews", "stackoverflow"],
+    "har": ["harbox", "ucihar"],
+}
+
+
+def load_dataset(name: str, seed: int = 0, **kwargs) -> FederatedDataset:
+    """Build a dataset by name; size parameters forward to the generator."""
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; known: {DATASET_NAMES}") from None
+    return loader(seed=seed, **kwargs)

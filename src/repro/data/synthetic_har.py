@@ -1,0 +1,97 @@
+"""Synthetic HAR-BOX / UCI-HAR stand-ins (human activity recognition).
+
+Per-user IMU-style time series: each activity class has characteristic
+frequencies and per-channel amplitude envelopes; each user contributes a
+personal amplitude scale, phase offset and sensor bias.  Windows are laid out
+as ``(channels, 8, 4)`` maps for the customized CNN (see
+:mod:`repro.models.har_cnn`).  Both datasets are keyed by user id and are
+therefore naturally non-IID, matching the paper's partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import FederatedDataset
+from ..models.har_cnn import HAR_INPUT_SHAPE
+
+__all__ = ["make_ucihar_like", "make_harbox_like"]
+
+_CHANNELS = HAR_INPUT_SHAPE[0]
+_WINDOW = HAR_INPUT_SHAPE[1] * HAR_INPUT_SHAPE[2]   # 32 time steps
+
+
+def _class_signatures(rng: np.random.Generator,
+                      num_classes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Characteristic frequency + per-channel amplitude for each activity."""
+    freqs = rng.uniform(0.5, 4.0, size=num_classes)
+    amps = rng.uniform(0.3, 1.5, size=(num_classes, _CHANNELS))
+    return freqs, amps
+
+
+def _render_windows(rng: np.random.Generator, labels: np.ndarray,
+                    freqs: np.ndarray, amps: np.ndarray,
+                    user_scale: np.ndarray, user_phase: np.ndarray,
+                    user_bias: np.ndarray, noise: float) -> np.ndarray:
+    """Render (N, C, 8, 4) activity windows for one user."""
+    t = np.arange(_WINDOW)
+    signals = np.empty((len(labels), _CHANNELS, _WINDOW))
+    for i, cls in enumerate(labels):
+        phase = user_phase + rng.uniform(0, 2 * np.pi)
+        carrier = np.sin(2 * np.pi * freqs[cls] * t / _WINDOW + phase)
+        harmonics = 0.4 * np.sin(4 * np.pi * freqs[cls] * t / _WINDOW + phase)
+        wave = carrier + harmonics
+        signals[i] = (user_scale * amps[cls])[:, None] * wave[None, :]
+        signals[i] += user_bias[:, None]
+    signals += noise * rng.standard_normal(signals.shape)
+    return signals.reshape(len(labels), *HAR_INPUT_SHAPE).astype(np.float32)
+
+
+def _make_har_task(name: str, num_users: int, num_classes: int,
+                   samples_per_user: int, test_size: int, seed: int,
+                   paper_num_clients: int, noise: float = 0.45) -> FederatedDataset:
+    rng = np.random.default_rng(seed)
+    freqs, amps = _class_signatures(rng, num_classes)
+
+    xs, ys, uids = [], [], []
+    for user in range(num_users):
+        user_scale = rng.uniform(0.7, 1.3, size=_CHANNELS)
+        user_phase = rng.uniform(0, 2 * np.pi)
+        user_bias = rng.normal(0, 0.2, size=_CHANNELS)
+        # Users do not perform all activities equally often: natural skew.
+        class_probs = rng.dirichlet(np.full(num_classes, 0.8))
+        labels = rng.choice(num_classes, size=samples_per_user, p=class_probs)
+        xs.append(_render_windows(rng, labels, freqs, amps, user_scale,
+                                  user_phase, user_bias, noise=noise))
+        ys.append(labels)
+        uids.append(np.full(samples_per_user, user))
+
+    # Global test: a held-out "average user" with uniform activities.
+    y_test = rng.integers(0, num_classes, test_size)
+    x_test = _render_windows(rng, y_test, freqs, amps,
+                             user_scale=np.ones(_CHANNELS), user_phase=0.0,
+                             user_bias=np.zeros(_CHANNELS), noise=noise)
+
+    return FederatedDataset(
+        name=name, modality="har",
+        x_train=np.concatenate(xs), y_train=np.concatenate(ys).astype(np.int64),
+        x_test=x_test, y_test=y_test.astype(np.int64),
+        num_classes=num_classes, user_ids=np.concatenate(uids),
+        paper_num_clients=paper_num_clients,
+        info={"input_shape": HAR_INPUT_SHAPE})
+
+
+def make_ucihar_like(num_users: int = 30, samples_per_user: int = 40,
+                     test_size: int = 400, seed: int = 0) -> FederatedDataset:
+    """UCI-HAR stand-in: 6 activities, 30 users (paper: 30 clients)."""
+    return _make_har_task("ucihar", num_users, 6, samples_per_user,
+                          test_size, seed + 6, paper_num_clients=30,
+                          noise=0.6)
+
+
+def make_harbox_like(num_users: int = 100, samples_per_user: int = 15,
+                     test_size: int = 400, seed: int = 0) -> FederatedDataset:
+    """HAR-BOX stand-in: 5 daily activities, 100 users (paper: 100 clients)."""
+    return _make_har_task("harbox", num_users, 5, samples_per_user,
+                          test_size, seed + 5, paper_num_clients=100,
+                          noise=0.9)

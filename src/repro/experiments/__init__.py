@@ -1,0 +1,22 @@
+"""Per-table / per-figure reproduction harnesses.
+
+Each module exposes ``run(scale=..., seed=...) -> list[dict]`` and a
+``main()`` so every artifact regenerates from the command line, e.g.::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.fig4 demo
+"""
+
+from .mapping import base_arch_for, build_base_model
+from .reporting import format_radar, format_table
+from .runner import RunResult, resolve_target_accuracy, run_one, run_suite
+from .scales import SCALES, ExperimentScale, get_scale
+
+# Figure/table modules (repro.experiments.table1, .fig4, ...) are imported
+# lazily by name — importing them here would shadow `python -m` execution.
+__all__ = [
+    "base_arch_for", "build_base_model",
+    "format_radar", "format_table",
+    "RunResult", "resolve_target_accuracy", "run_one", "run_suite",
+    "SCALES", "ExperimentScale", "get_scale",
+]

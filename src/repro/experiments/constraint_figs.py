@@ -1,0 +1,31 @@
+"""Shared driver for the constraint-case figures (Figures 4, 5 and 6).
+
+Each figure is the same grid — global accuracy + time-to-accuracy (top row)
+and stability + effectiveness (bottom row) for every algorithm on every data
+task — under a different active constraint.
+"""
+
+from __future__ import annotations
+
+from ..algorithms import MHFL_ALGORITHMS
+from ..constraints import ConstraintSpec
+from ..data.registry import DATASET_NAMES
+from .runner import run_suite
+
+__all__ = ["run_constraint_figure"]
+
+
+def run_constraint_figure(constraints: tuple[str, ...],
+                          datasets: list[str] | None = None,
+                          algorithms: list[str] | None = None,
+                          scale: str = "demo", seed: int = 0) -> list[dict]:
+    """All four metrics for every (dataset, algorithm) under a constraint."""
+    datasets = datasets or list(DATASET_NAMES)
+    algorithms = algorithms or list(MHFL_ALGORITHMS)
+    spec = ConstraintSpec(constraints=constraints)
+    rows = []
+    for dataset in datasets:
+        summaries = run_suite(algorithms, dataset, spec, scale=scale,
+                              seed=seed)
+        rows.extend(s.as_row() for s in summaries)
+    return rows

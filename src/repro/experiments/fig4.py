@@ -1,0 +1,33 @@
+"""Figure 4: results on computation-limited MHFL.
+
+Every algorithm x every data task under the computation constraint (IMA
+compute capabilities, equal-training-time assignment): global accuracy,
+time-to-accuracy, stability and effectiveness.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .constraint_figs import run_constraint_figure
+from .reporting import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(scale: str = "demo", seed: int = 0,
+        datasets: list[str] | None = None,
+        algorithms: list[str] | None = None) -> list[dict]:
+    return run_constraint_figure(("computation",), datasets=datasets,
+                                 algorithms=algorithms, scale=scale,
+                                 seed=seed)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
+    print(format_table(run(scale=scale),
+                       title="Figure 4: computation-limited MHFL"))
+
+
+if __name__ == "__main__":
+    main()

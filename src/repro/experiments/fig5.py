@@ -1,0 +1,32 @@
+"""Figure 5: results on communication-limited MHFL.
+
+Same grid as Figure 4 with the communication-bandwidth constraint (round
+communication controlled to a budget, per the IMA bandwidth trace).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .constraint_figs import run_constraint_figure
+from .reporting import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(scale: str = "demo", seed: int = 0,
+        datasets: list[str] | None = None,
+        algorithms: list[str] | None = None) -> list[dict]:
+    return run_constraint_figure(("communication",), datasets=datasets,
+                                 algorithms=algorithms, scale=scale,
+                                 seed=seed)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
+    print(format_table(run(scale=scale),
+                       title="Figure 5: communication-limited MHFL"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Figure 6: results on memory-limited MHFL.
+
+Memory tiers {16 GB GPU, 4 GB GPU, no GPU} with market-share proportions;
+the paper restricts this case to the large models (ResNet-101 on CIFAR-100,
+ALBERT on Stack Overflow) since small HAR models fit every device.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .constraint_figs import run_constraint_figure
+from .reporting import format_table
+
+__all__ = ["run", "main", "MEMORY_DATASETS"]
+
+MEMORY_DATASETS = ["cifar100", "stackoverflow"]
+
+
+def run(scale: str = "demo", seed: int = 0,
+        datasets: list[str] | None = None,
+        algorithms: list[str] | None = None) -> list[dict]:
+    return run_constraint_figure(("memory",),
+                                 datasets=datasets or MEMORY_DATASETS,
+                                 algorithms=algorithms, scale=scale,
+                                 seed=seed)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
+    print(format_table(run(scale=scale),
+                       title="Figure 6: memory-limited MHFL"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 9: analysis of scalability.
+
+Accuracy and time-to-accuracy versus client count on the memory-limited
+CIFAR-100 case (paper x-axis: 100 / 200 / 500 clients; the demo scale uses
+the same 1:2:5 proportions at its own size). Fed-ET appears instead of
+FedProto following the paper's Figure 9 legend.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..algorithms import MHFL_ALGORITHMS
+from ..constraints import ConstraintSpec
+from ..data.registry import load_dataset
+from .reporting import format_table
+from .runner import resolve_target_accuracy, run_one
+from .scales import get_scale
+
+__all__ = ["run", "main", "client_counts_for"]
+
+_FIG9_ALGORITHMS = [n for n in MHFL_ALGORITHMS if n != "fedproto"]
+
+
+def client_counts_for(scale_name: str) -> list[int]:
+    """The paper's 100/200/500 sweep, shrunk proportionally off-paper."""
+    base = {"smoke": 4, "demo": 10, "paper": 100}[scale_name]
+    return [base, base * 2, base * 5]
+
+
+def run(scale: str = "demo", seed: int = 0, dataset: str = "cifar100",
+        algorithms: list[str] | None = None,
+        client_counts: list[int] | None = None) -> list[dict]:
+    algorithms = algorithms or list(_FIG9_ALGORITHMS)
+    scale_obj = get_scale(scale)
+    counts = client_counts or client_counts_for(scale_obj.name)
+    spec = ConstraintSpec(constraints=("memory",))
+    rows = []
+    for num_clients in counts:
+        histories = []
+        results = {}
+        for name in algorithms:
+            result = run_one(name, dataset, spec, scale=scale, seed=seed,
+                             num_clients=num_clients)
+            results[name] = result
+            histories.append(result.history)
+        ds = load_dataset(dataset, seed=seed, **scale_obj.kwargs_for(dataset))
+        target = resolve_target_accuracy(histories, ds.num_classes)
+        for name, result in results.items():
+            tta = result.history.time_to_accuracy(target)
+            rows.append({"clients": num_clients, "algorithm": name,
+                         "accuracy": round(result.final_accuracy, 4),
+                         "tta_s": None if tta is None else round(tta, 1)})
+    return rows
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
+    print(format_table(run(scale=scale),
+                       title="Figure 9: scalability (memory-limited CIFAR-100)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Dataset -> architecture mapping (Table II of the paper).
+
+Width/depth heterogeneity partitions a single architecture; topology
+heterogeneity draws from an architecture *family* whose base member is
+listed here (the algorithm's variant space expands it to the family).
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import FederatedDataset
+from ..data.synthetic_text import VOCAB_SIZE
+from ..models.base import SliceableModel
+from ..models.zoo import build_model
+
+__all__ = ["base_arch_for", "build_base_model"]
+
+#: dataset -> arch for width/depth/homogeneous algorithms (Table II).
+_WIDTH_DEPTH_ARCH = {
+    "cifar100": "resnet101",
+    "cifar10": "mobilenet_v2",
+    "agnews": "transformer",
+    "stackoverflow": "albert_base",
+    "harbox": "har_cnn",
+    "ucihar": "har_cnn",
+}
+
+#: dataset -> family base member for topology algorithms (Table II).
+_TOPOLOGY_ARCH = {
+    "cifar100": "resnet18",
+    "cifar10": "mobilenet_v2",
+    "agnews": "transformer",        # no family: width-customised topologies
+    "stackoverflow": "albert_base",
+    "harbox": "har_cnn",
+    "ucihar": "har_cnn",
+}
+
+
+def base_arch_for(dataset_name: str, level: str) -> str:
+    """Architecture name for a dataset and heterogeneity level."""
+    table = _TOPOLOGY_ARCH if level == "topology" else _WIDTH_DEPTH_ARCH
+    try:
+        return table[dataset_name]
+    except KeyError:
+        raise ValueError(f"no architecture mapping for dataset "
+                         f"{dataset_name!r}") from None
+
+
+def build_base_model(dataset: FederatedDataset, level: str,
+                     seed: int = 0, scale: str = "tiny") -> SliceableModel:
+    """Build the (full) base model for a dataset at a heterogeneity level."""
+    arch = base_arch_for(dataset.name, level)
+    kwargs: dict = {"seed": seed, "scale": scale}
+    if dataset.modality == "text":
+        kwargs["vocab_size"] = dataset.info.get("vocab_size", VOCAB_SIZE)
+    return build_model(arch, num_classes=dataset.num_classes, **kwargs)

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment outputs.
+
+No plotting dependency is available offline, so every figure is regenerated
+as the table of series the plot would show (algorithm x metric grids); the
+radar chart of Figure 1 renders as a normalised per-axis table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_radar"]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    cells = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_radar(rows: Sequence[dict], axes: Sequence[str],
+                 name_key: str = "algorithm",
+                 higher_better: dict[str, bool] | None = None,
+                 title: str | None = None) -> str:
+    """Figure-1-style radar chart as a normalised [0, 1] score table.
+
+    Each axis is min-max normalised over the rows; axes where lower is
+    better (time, variance) are inverted so 1.0 is always "best".
+    """
+    higher_better = higher_better or {}
+    scores = []
+    for axis in axes:
+        values = [row.get(axis) for row in rows]
+        numeric = [v for v in values if v is not None]
+        lo, hi = (min(numeric), max(numeric)) if numeric else (0.0, 1.0)
+        span = (hi - lo) or 1.0
+        axis_scores = []
+        for value in values:
+            if value is None:
+                axis_scores.append(0.0)
+                continue
+            score = (value - lo) / span
+            if not higher_better.get(axis, True):
+                score = 1.0 - score
+            axis_scores.append(score)
+        scores.append(axis_scores)
+    out_rows = []
+    for i, row in enumerate(rows):
+        out = {name_key: row[name_key]}
+        for j, axis in enumerate(axes):
+            out[axis] = round(scores[j][i], 3)
+        out_rows.append(out)
+    return format_table(out_rows, [name_key] + list(axes), title=title)

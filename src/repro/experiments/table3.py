@@ -1,0 +1,29 @@
+"""Table III: edge devices used in the platform construction."""
+
+from __future__ import annotations
+
+from ..hw.device import EDGE_DEVICES
+from .reporting import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(scale: str = "demo", seed: int = 0) -> list[dict]:
+    rows = []
+    for device in EDGE_DEVICES.values():
+        rows.append({
+            "device": device.name,
+            "processor": device.processor,
+            "gpu": device.gpu,
+            "memory_GB": round(device.memory_gb, 1),
+            "effective_GFLOPs": round(device.effective_train_flops / 1e9, 2),
+        })
+    return rows
+
+
+def main() -> None:
+    print(format_table(run(), title="Table III: edge devices"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Federated simulation engine: local training, round loop, history."""
+
+from .client import LocalTrainConfig, train_local, make_optimizer
+from .evaluate import accuracy, predict
+from .history import History, RoundRecord
+from .simulation import SimulationConfig, run_simulation, sample_clients
+from .serialization import (history_to_dict, history_from_dict, save_history,
+                            load_history)
+
+__all__ = [
+    "LocalTrainConfig", "train_local", "make_optimizer",
+    "accuracy", "predict",
+    "History", "RoundRecord",
+    "SimulationConfig", "run_simulation", "sample_clients",
+    "history_to_dict", "history_from_dict", "save_history", "load_history",
+]

@@ -1,0 +1,32 @@
+"""Evaluation utilities shared by algorithms and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autograd as ag
+from ..models.base import SliceableModel
+
+__all__ = ["accuracy", "predict"]
+
+
+def predict(model: SliceableModel, x: np.ndarray,
+            batch_size: int = 256) -> np.ndarray:
+    """Argmax predictions in eval mode (restores training mode after)."""
+    was_training = model.training
+    model.eval()
+    try:
+        preds = []
+        with ag.no_grad():
+            for start in range(0, len(x), batch_size):
+                logits = model(x[start:start + batch_size])
+                preds.append(logits.data.argmax(axis=-1))
+        return np.concatenate(preds)
+    finally:
+        model.train(was_training)
+
+
+def accuracy(model: SliceableModel, x: np.ndarray, y: np.ndarray,
+             batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``(x, y)``."""
+    return float((predict(model, x, batch_size) == np.asarray(y)).mean())

@@ -1,0 +1,85 @@
+"""Round-by-round records of a federated run + derived metrics inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "History"]
+
+
+@dataclass
+class RoundRecord:
+    """One federated round's outcome."""
+
+    round_index: int
+    #: simulated wall-clock at the END of this round, seconds.
+    sim_time_s: float
+    #: slowest sampled client's compute+comm time this round, seconds.
+    round_time_s: float
+    #: mean local training loss over sampled clients.
+    train_loss: float
+    #: global-test accuracy (None on rounds without evaluation).
+    global_accuracy: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class History:
+    """Full record of a federated run."""
+
+    algorithm: str
+    dataset: str
+    records: list[RoundRecord] = field(default_factory=list)
+    #: per-device accuracies measured at the end of the run.
+    final_device_accuracies: list[float] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def evaluated(self) -> list[RoundRecord]:
+        return [r for r in self.records if r.global_accuracy is not None]
+
+    @property
+    def final_accuracy(self) -> float:
+        evaluated = self.evaluated
+        if not evaluated:
+            raise ValueError("run has no evaluated rounds")
+        return evaluated[-1].global_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(r.global_accuracy for r in self.evaluated)
+
+    @property
+    def total_sim_time_s(self) -> float:
+        return self.records[-1].sim_time_s if self.records else 0.0
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated seconds until global accuracy first reaches ``target``.
+
+        Returns ``None`` when the run never reaches the target (the paper's
+        time-to-accuracy metric, measured on the simulated clock).
+        """
+        for record in self.records:
+            if record.global_accuracy is not None \
+                    and record.global_accuracy >= target:
+                return record.sim_time_s
+        return None
+
+    def accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sim_time_s, accuracy) arrays over evaluated rounds."""
+        evaluated = self.evaluated
+        return (np.array([r.sim_time_s for r in evaluated]),
+                np.array([r.global_accuracy for r in evaluated]))
+
+    def stability(self) -> float:
+        """Variance of final per-device accuracies (paper metric iii)."""
+        if not self.final_device_accuracies:
+            raise ValueError("no per-device accuracies recorded")
+        return float(np.var(self.final_device_accuracies))

@@ -1,0 +1,53 @@
+"""History (de)serialisation: persist runs as JSON for later analysis.
+
+The sweep drivers under ``results/`` and downstream notebooks use this to
+keep raw run records next to the rendered tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .history import History, RoundRecord
+
+__all__ = ["history_to_dict", "history_from_dict", "save_history",
+           "load_history"]
+
+
+def history_to_dict(history: History) -> dict:
+    return {
+        "algorithm": history.algorithm,
+        "dataset": history.dataset,
+        "final_device_accuracies": list(history.final_device_accuracies),
+        "records": [
+            {"round_index": r.round_index, "sim_time_s": r.sim_time_s,
+             "round_time_s": r.round_time_s, "train_loss": r.train_loss,
+             "global_accuracy": r.global_accuracy, "extras": r.extras}
+            for r in history.records
+        ],
+    }
+
+
+def history_from_dict(payload: dict) -> History:
+    history = History(algorithm=payload["algorithm"],
+                      dataset=payload["dataset"])
+    for record in payload["records"]:
+        history.append(RoundRecord(
+            round_index=record["round_index"],
+            sim_time_s=record["sim_time_s"],
+            round_time_s=record["round_time_s"],
+            train_loss=record["train_loss"],
+            global_accuracy=record["global_accuracy"],
+            extras=dict(record.get("extras", {}))))
+    history.final_device_accuracies = list(
+        payload.get("final_device_accuracies", []))
+    return history
+
+
+def save_history(history: History, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(history_to_dict(history), indent=1))
+
+
+def load_history(path: str | Path) -> History:
+    return history_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,15 @@
+"""Hardware substrate: devices, measurement, cost models, fleets, model pool."""
+
+from .device import DeviceProfile, EDGE_DEVICES, get_device
+from .flops import ModelStats, measure_model, dummy_input
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+from .ima import ClientCapability, sample_fleet, MEMORY_TIERS
+from .model_pool import PoolEntry, ModelPool
+
+__all__ = [
+    "DeviceProfile", "EDGE_DEVICES", "get_device",
+    "ModelStats", "measure_model", "dummy_input",
+    "CostModel", "DEFAULT_COST_MODEL",
+    "ClientCapability", "sample_fleet", "MEMORY_TIERS",
+    "PoolEntry", "ModelPool",
+]

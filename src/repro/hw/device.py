@@ -1,0 +1,87 @@
+"""Edge device profiles (Table III) and the client capability model.
+
+Effective training throughputs are calibrated against the measured ratios of
+Table I (ResNet-101 x0.5, one round: Jetson Orin NX ~213 s vs Jetson Nano
+~430 s for SHeteroFL), not against vendor peak FLOPS — training on edge
+boards is far from peak and the *ratios* are what the constraint-driven model
+assignment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "EDGE_DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static capabilities of an edge device."""
+
+    name: str
+    processor: str
+    gpu: str
+    #: sustained training throughput, FLOP/s (calibrated, see module doc).
+    effective_train_flops: float
+    #: memory available to a training process, bytes.
+    memory_bytes: int
+    #: uplink / downlink bandwidth, bytes per second.
+    uplink_bps: float
+    downlink_bps: float
+    has_gpu: bool = True
+    #: fixed per-round overhead (data loading, kernel launch, ...), seconds.
+    round_overhead_s: float = 5.0
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / 2**30
+
+
+#: The devices of Table III plus the Jetson Nano used in Table I.
+EDGE_DEVICES: dict[str, DeviceProfile] = {
+    "jetson_orin_nx": DeviceProfile(
+        name="jetson_orin_nx",
+        processor="1024-core NVIDIA Ampere GPU",
+        gpu="Ampere (1024 cores)",
+        effective_train_flops=9.0e9,
+        memory_bytes=16 * 2**30,
+        uplink_bps=1.0e6,      # 8 Mbit/s up
+        downlink_bps=5.0e6,    # 40 Mbit/s down
+        has_gpu=True),
+    "jetson_tx2_nx": DeviceProfile(
+        name="jetson_tx2_nx",
+        processor="256-core NVIDIA Pascal GPU",
+        gpu="Pascal (256 cores)",
+        effective_train_flops=5.5e9,
+        memory_bytes=4 * 2**30,
+        uplink_bps=0.75e6,
+        downlink_bps=3.75e6,
+        has_gpu=True),
+    "jetson_nano": DeviceProfile(
+        name="jetson_nano",
+        processor="128-core NVIDIA Maxwell GPU",
+        gpu="Maxwell (128 cores)",
+        effective_train_flops=4.45e9,
+        memory_bytes=4 * 2**30,
+        uplink_bps=0.6e6,
+        downlink_bps=3.0e6,
+        has_gpu=True),
+    "raspberry_pi_4b": DeviceProfile(
+        name="raspberry_pi_4b",
+        processor="Broadcom BCM2711B0 quad-core A72 @ 1.5GHz",
+        gpu="none",
+        effective_train_flops=0.7e9,
+        memory_bytes=4 * 2**30,
+        uplink_bps=0.5e6,
+        downlink_bps=2.5e6,
+        has_gpu=False),
+}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a Table III device profile by name."""
+    try:
+        return EDGE_DEVICES[name]
+    except KeyError:
+        raise ValueError(f"unknown device {name!r}; "
+                         f"known: {sorted(EDGE_DEVICES)}") from None

@@ -1,0 +1,92 @@
+"""Model measurement: parameters, FLOPs and activation footprint.
+
+Uses the op-level profiler of :mod:`repro.autograd.profiler`, so the numbers
+are exact for whatever variant is passed in — including width-sliced,
+depth-pruned and partially-frozen models, which is precisely the distinction
+Table I of the paper demonstrates (equal-proportion models from different
+heterogeneity methods differ widely in time and memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import autograd as ag
+from ..models.base import SliceableModel
+from ..models.har_cnn import HAR_INPUT_SHAPE
+
+__all__ = ["ModelStats", "measure_model", "dummy_input"]
+
+_BYTES_PER_PARAM = 4  # float32
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """Per-sample measurement of one model variant."""
+
+    params: int
+    trainable_params: int
+    flops_per_sample: float          # forward FLOPs for one sample
+    activation_bytes_per_sample: float
+
+    @property
+    def param_bytes(self) -> int:
+        return self.params * _BYTES_PER_PARAM
+
+    @property
+    def trainable_param_bytes(self) -> int:
+        return self.trainable_params * _BYTES_PER_PARAM
+
+    @property
+    def gflops_per_sample(self) -> float:
+        return self.flops_per_sample / 1e9
+
+    @property
+    def params_millions(self) -> float:
+        return self.params / 1e6
+
+
+def dummy_input(model: SliceableModel, batch_size: int = 1,
+                seed: int = 0) -> np.ndarray:
+    """Build a correctly-shaped dummy input for any zoo model."""
+    rng = np.random.default_rng(seed)
+    kwargs = model._build_kwargs
+    if model.pool_kind == "sequence":
+        vocab = kwargs.get("vocab_size", 256)
+        seq_len = min(16, kwargs.get("max_len", 32))
+        return rng.integers(0, vocab, size=(batch_size, seq_len))
+    if model.family == "har_cnn":
+        return rng.standard_normal((batch_size,) + HAR_INPUT_SHAPE).astype(np.float32)
+    in_channels = kwargs.get("in_channels", 3)
+    resolution = 32 if kwargs.get("scale") == "paper" else 16
+    return rng.standard_normal(
+        (batch_size, in_channels, resolution, resolution)).astype(np.float32)
+
+
+def measure_model(model: SliceableModel,
+                  sample: np.ndarray | None = None) -> ModelStats:
+    """Profile one forward pass and return per-sample statistics.
+
+    The forward is run in eval mode under ``no_grad``; FLOPs count the
+    matmul-like ops (2 x MACs) and activation bytes sum every op output —
+    the tensors a training step has to keep alive for backprop.
+    """
+    if sample is None:
+        sample = dummy_input(model, batch_size=1)
+    was_training = model.training
+    model.eval()
+    try:
+        with ag.no_grad():
+            with ag.profile() as report:
+                model(sample)
+    finally:
+        model.train(was_training)
+    batch = len(sample)
+    return ModelStats(
+        params=model.num_parameters(),
+        trainable_params=sum(p.size for p in model.parameters()
+                             if p.requires_grad),
+        flops_per_sample=report.flops / batch,
+        activation_bytes_per_sample=report.activation_bytes / batch)

@@ -1,0 +1,89 @@
+"""Synthetic IMA-style device fleet (client capability traces).
+
+The paper builds its computation- and communication-limited cases from the
+IMA dataset (Yang et al., WWW'21): real capability traces of 1000+
+smartphones (Samsung Note 10 ... Redmi Note 8 class).  Offline, we sample a
+seeded fleet with the same *spread*: roughly an order of magnitude between
+fast and slow devices in compute, heavy-tailed bandwidth, and a memory-tier
+mix following the ScientiaMobile smartphone-RAM distribution the paper cites
+for the memory-limited case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceProfile
+
+__all__ = ["ClientCapability", "sample_fleet", "MEMORY_TIERS"]
+
+#: Memory tiers of the memory-limited case: (label, memory bytes, has_gpu,
+#: market share).  Shares follow the ScientiaMobile distribution the paper
+#: cites: a minority of 16 GB-class devices, a majority of 4 GB-class, and a
+#: long tail of CPU-only devices.
+MEMORY_TIERS: list[tuple[str, int, bool, float]] = [
+    ("16gb_gpu", 16 * 2**30, True, 0.20),
+    ("4gb_gpu", 4 * 2**30, True, 0.55),
+    ("no_gpu", 4 * 2**30, False, 0.25),
+]
+
+
+@dataclass(frozen=True)
+class ClientCapability:
+    """One client's sampled device capability."""
+
+    client_id: int
+    #: sustained training throughput, FLOP/s.
+    compute_flops: float
+    #: uplink / downlink, bytes per second.
+    uplink_bps: float
+    downlink_bps: float
+    #: memory tier (see :data:`MEMORY_TIERS`).
+    memory_bytes: int
+    has_gpu: bool
+    tier: str
+
+    def as_device(self) -> DeviceProfile:
+        """View this capability as an ad-hoc :class:`DeviceProfile`."""
+        return DeviceProfile(
+            name=f"client_{self.client_id}", processor="sampled",
+            gpu="sampled" if self.has_gpu else "none",
+            effective_train_flops=self.compute_flops,
+            memory_bytes=self.memory_bytes,
+            uplink_bps=self.uplink_bps, downlink_bps=self.downlink_bps,
+            has_gpu=self.has_gpu)
+
+
+def sample_fleet(num_clients: int, seed: int = 0,
+                 compute_median_flops: float = 6e9,
+                 compute_spread: float = 0.55,
+                 uplink_median_bps: float = 2.5e6,
+                 bandwidth_spread: float = 0.7) -> list[ClientCapability]:
+    """Sample a seeded fleet of heterogeneous clients.
+
+    ``compute_spread`` / ``bandwidth_spread`` are log-normal sigmas; the
+    defaults give ~10x between the 5th and 95th percentile of compute and a
+    heavier bandwidth tail, matching the dynamic range the IMA study reports.
+    """
+    rng = np.random.default_rng(seed)
+    labels = [t[0] for t in MEMORY_TIERS]
+    shares = np.array([t[3] for t in MEMORY_TIERS])
+    shares = shares / shares.sum()
+    tier_by_label = {t[0]: t for t in MEMORY_TIERS}
+
+    fleet = []
+    for client_id in range(num_clients):
+        tier_label = labels[rng.choice(len(labels), p=shares)]
+        _, memory_bytes, has_gpu, _ = tier_by_label[tier_label]
+        compute = compute_median_flops * rng.lognormal(0.0, compute_spread)
+        if not has_gpu:
+            compute *= 0.25  # CPU-only devices train far slower
+        uplink = uplink_median_bps * rng.lognormal(0.0, bandwidth_spread)
+        downlink = uplink * rng.uniform(3.0, 6.0)
+        fleet.append(ClientCapability(
+            client_id=client_id, compute_flops=compute,
+            uplink_bps=uplink, downlink_bps=downlink,
+            memory_bytes=memory_bytes, has_gpu=has_gpu, tier=tier_label))
+    return fleet

@@ -1,0 +1,136 @@
+"""The model pool (Section IV / Figure 3 of the paper).
+
+PracMHBench's constraint cases pick each client's model from a measured pool:
+every candidate variant (width multiplier, depth level, or family member) is
+profiled for parameters, FLOPs, activation footprint — and, through the cost
+model, training time / communication time / training memory on any device.
+The pool then answers "largest variant that satisfies this client's budget",
+which is the paper's assignment principle for all three constraint cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+from .device import DeviceProfile
+from .flops import ModelStats, measure_model
+from ..models.base import SliceableModel
+
+__all__ = ["PoolEntry", "ModelPool"]
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One measured candidate model variant."""
+
+    key: str
+    #: nominal proportion of the original model (the x-axis of Figure 3).
+    proportion: float
+    #: constructor overrides that rebuild this variant from the base model.
+    overrides: dict = field(hash=False)
+    stats: ModelStats = field(hash=False)
+
+    def build(self, base_model: SliceableModel) -> SliceableModel:
+        return base_model.variant(**self.overrides)
+
+
+class ModelPool:
+    """An ordered collection of measured variants of one base model."""
+
+    def __init__(self, base_model: SliceableModel, entries: list[PoolEntry],
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
+        if not entries:
+            raise ValueError("model pool needs at least one entry")
+        self.base_model = base_model
+        self.entries = sorted(entries, key=lambda e: e.stats.flops_per_sample)
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_variants(cls, base_model: SliceableModel,
+                      variants: dict[str, dict],
+                      proportions: dict[str, float] | None = None,
+                      cost_model: CostModel = DEFAULT_COST_MODEL) -> "ModelPool":
+        """Measure a set of variants given as ``key -> constructor overrides``.
+
+        ``proportions`` optionally assigns the nominal proportion per key
+        (defaults to ``width_mult`` or owned-stage fraction when derivable).
+        """
+        entries = []
+        for key, overrides in variants.items():
+            model = base_model.variant(**overrides)
+            stats = measure_model(model)
+            if proportions and key in proportions:
+                proportion = proportions[key]
+            elif "width_mult" in overrides:
+                proportion = float(overrides["width_mult"])
+            elif "num_stages" in overrides and overrides["num_stages"]:
+                proportion = overrides["num_stages"] / base_model.total_stages
+            else:
+                proportion = 1.0
+            entries.append(PoolEntry(key=key, proportion=proportion,
+                                     overrides=dict(overrides), stats=stats))
+        return cls(base_model, entries, cost_model)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def get(self, key: str) -> PoolEntry:
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        raise KeyError(f"no pool entry {key!r}; known: "
+                       f"{[e.key for e in self.entries]}")
+
+    @property
+    def smallest(self) -> PoolEntry:
+        return self.entries[0]
+
+    @property
+    def largest(self) -> PoolEntry:
+        return self.entries[-1]
+
+    # ------------------------------------------------------------------
+    # Constraint-driven selection (the paper's assignment principle)
+    # ------------------------------------------------------------------
+    def largest_within_time(self, device: DeviceProfile, deadline_s: float,
+                            num_samples: int,
+                            local_epochs: int = 1) -> PoolEntry:
+        """Largest variant whose round training time meets the deadline."""
+        best = self.entries[0]
+        for entry in self.entries:
+            time_s = self.cost_model.training_time_s(
+                entry.stats, device, num_samples, local_epochs)
+            if time_s <= deadline_s:
+                best = entry
+        return best
+
+    def largest_within_comm(self, device: DeviceProfile,
+                            budget_s: float) -> PoolEntry:
+        """Largest variant whose up+down transfer meets the budget."""
+        best = self.entries[0]
+        for entry in self.entries:
+            if self.cost_model.communication_time_s(entry.stats,
+                                                    device) <= budget_s:
+                best = entry
+        return best
+
+    def largest_within_memory(self, device: DeviceProfile,
+                              batch_size: int = 8,
+                              headroom: float = 0.8) -> PoolEntry:
+        """Largest variant that trains within the device's memory."""
+        best = self.entries[0]
+        for entry in self.entries:
+            if self.cost_model.fits_in_memory(entry.stats, device,
+                                              batch_size, headroom):
+                best = entry
+        return best

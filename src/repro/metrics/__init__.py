@@ -1,0 +1,15 @@
+"""The four PracMHBench metrics (Section III, "Evaluated Metrics").
+
+All four are computed from :class:`~repro.fl.History` objects:
+
+* **global accuracy** — the final federated model on the global test set;
+* **time-to-accuracy** — simulated wall-clock until a preset accuracy;
+* **stability** — variance of per-device accuracies;
+* **effectiveness** — accuracy gain over the smallest-homogeneous baseline.
+"""
+
+from .summary import (MetricSummary, summarize, global_accuracy,
+                      time_to_accuracy, stability, effectiveness)
+
+__all__ = ["MetricSummary", "summarize", "global_accuracy",
+           "time_to_accuracy", "stability", "effectiveness"]

@@ -1,0 +1,80 @@
+"""Metric computation over federated run histories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fl.history import History
+
+__all__ = ["MetricSummary", "summarize", "global_accuracy",
+           "time_to_accuracy", "stability", "effectiveness"]
+
+
+def global_accuracy(history: History) -> float:
+    """Metric (i): final global-test accuracy of the federated model."""
+    return history.final_accuracy
+
+
+def time_to_accuracy(history: History, target: float) -> float | None:
+    """Metric (ii): simulated seconds to first reach ``target`` accuracy.
+
+    ``None`` when the run never reaches the target (reported as a miss, not
+    as infinity, so downstream tables can mark it explicitly).
+    """
+    return history.time_to_accuracy(target)
+
+
+def stability(history: History) -> float:
+    """Metric (iii): variance of the final per-device accuracies.
+
+    Lower is better — a stable method serves every heterogeneous device
+    about equally well.
+    """
+    return history.stability()
+
+
+def effectiveness(history: History, baseline: History) -> float:
+    """Metric (iv): final-accuracy gain over the homogeneous baseline.
+
+    The baseline trains the smallest feasible homogeneous model on every
+    device (FedAvgSmallest under the same constraint case).  Positive values
+    mean model heterogeneity actually helped.
+    """
+    return history.final_accuracy - baseline.final_accuracy
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """All four metrics for one (algorithm, scenario) run."""
+
+    algorithm: str
+    dataset: str
+    global_accuracy: float
+    time_to_accuracy_s: float | None
+    stability: float
+    effectiveness: float | None
+
+    def as_row(self) -> dict:
+        tta = self.time_to_accuracy_s
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "global_acc": round(self.global_accuracy, 4),
+            "tta_s": None if tta is None else round(tta, 1),
+            "stability_var": round(self.stability, 6),
+            "effectiveness": (None if self.effectiveness is None
+                              else round(self.effectiveness, 4)),
+        }
+
+
+def summarize(history: History, target_accuracy: float,
+              baseline: History | None = None) -> MetricSummary:
+    """Compute the four metrics for one run."""
+    return MetricSummary(
+        algorithm=history.algorithm,
+        dataset=history.dataset,
+        global_accuracy=global_accuracy(history),
+        time_to_accuracy_s=time_to_accuracy(history, target_accuracy),
+        stability=stability(history),
+        effectiveness=(None if baseline is None
+                       else effectiveness(history, baseline)))

@@ -1,0 +1,126 @@
+"""ALBERT family (base / large / xxlarge) — Stack Overflow NLP models.
+
+Keeps ALBERT's two defining tricks, which matter for heterogeneity:
+
+* **factorized embeddings** — a small embedding dim projected up to the
+  hidden dim, so the vocabulary table does not grow with width;
+* **cross-layer parameter sharing** — one encoder layer applied L times, so
+  *depth* variants change compute and activation memory but not the
+  parameter set (every client aggregates over the identical shared weights).
+
+Stages are groups of repeated applications of the shared layer; a depth
+variant runs fewer repeats.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .. import nn
+from ..autograd import Tensor
+from .base import IndexedModules, SliceableModel, scaled_channels
+
+__all__ = ["AlbertClassifier", "ALBERT_CONFIGS"]
+
+# name -> (hidden base, per-stage repeat counts)
+ALBERT_CONFIGS = {
+    "albert_base": (32, [1, 1, 1, 1]),
+    "albert_large": (48, [2, 2, 2, 2]),
+    "albert_xxlarge": (64, [3, 3, 3, 3]),
+}
+
+
+class _FactorizedStem(nn.Module):
+    """Token/positional embeddings at ``emb_dim`` projected to ``hidden``."""
+
+    def __init__(self, vocab_size: int, emb_dim: int, hidden: int,
+                 max_len: int, rng: np.random.Generator):
+        super().__init__()
+        self.embed = nn.Embedding(vocab_size, emb_dim, rng, scale_out=False)
+        self.pos = nn.Parameter(nn.init.normal((max_len, emb_dim), 0.02, rng))
+        self.project = nn.Linear(emb_dim, hidden, rng, scale_in=False)
+        self.norm = nn.LayerNorm(hidden)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        seq_len = tokens.shape[1]
+        h = self.embed(tokens) + self.pos[0:seq_len]
+        return self.norm(self.project(h))
+
+
+class AlbertClassifier(SliceableModel):
+    """ALBERT-style classifier with cross-layer parameter sharing."""
+
+    family = "albert"
+    pool_kind = "sequence"
+
+    def __init__(self, num_classes: int, arch: str = "albert_base",
+                 vocab_size: int = 256, width_mult: float = 1.0,
+                 num_stages: int | None = None, head_mode: str = "deepest",
+                 seed: int = 0, scale: str = "tiny", max_len: int = 32,
+                 emb_dim: int = 16, num_heads: int = 4):
+        super().__init__()
+        self._record_build_kwargs(
+            num_classes=num_classes, arch=arch, vocab_size=vocab_size,
+            width_mult=width_mult, num_stages=num_stages,
+            head_mode=head_mode, seed=seed, scale=scale, max_len=max_len,
+            emb_dim=emb_dim, num_heads=num_heads)
+        try:
+            hidden_base, repeats = ALBERT_CONFIGS[arch]
+        except KeyError:
+            raise ValueError(f"unknown albert arch {arch!r}") from None
+        if scale == "paper":
+            hidden_base, repeats = hidden_base * 4, [r * 2 for r in repeats]
+        self.arch = arch
+        self.width_mult = width_mult
+        self.head_mode = head_mode
+        self.total_stages = len(repeats)
+        owned = self.total_stages if num_stages is None else num_stages
+        if not 1 <= owned <= self.total_stages:
+            raise ValueError(f"num_stages must be in [1, {self.total_stages}]")
+
+        rng = np.random.default_rng(seed)
+        hidden = scaled_channels(hidden_base, width_mult, divisor=num_heads)
+        ffn_dim = scaled_channels(hidden_base * 2, width_mult)
+        self.stem = _FactorizedStem(vocab_size, emb_dim, hidden, max_len, rng)
+        self.shared_layer = nn.TransformerEncoderLayer(hidden, num_heads,
+                                                       ffn_dim, rng)
+        self.stage_repeats: list[int] = list(repeats[:owned])
+
+        self.heads = IndexedModules()
+        head_indices = (range(owned) if head_mode == "all" else [owned - 1])
+        for index in head_indices:
+            self.heads.add(index, nn.Linear(hidden, num_classes, rng,
+                                            scale_out=False))
+
+    # ------------------------------------------------------------------
+    # Shared-layer overrides of the staged protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_owned_stages(self) -> int:
+        return len(self.stage_repeats)
+
+    def _run_stages(self, x) -> list[Tensor]:
+        h = self.stem(x)
+        outputs = []
+        for repeat_count in self.stage_repeats:
+            for _ in range(repeat_count):
+                h = self.shared_layer(h)
+            outputs.append(h)
+        return outputs
+
+    def set_trainable_stages(self, stage_indices: Sequence[int],
+                             train_stem: bool = True,
+                             train_heads: bool = True) -> None:
+        # With cross-layer sharing there is a single stack of encoder
+        # weights: it trains whenever any stage is selected.
+        any_stage = len(list(stage_indices)) > 0
+        for param in self.stem.parameters():
+            param.requires_grad = train_stem
+        for param in self.shared_layer.parameters():
+            param.requires_grad = any_stage
+        for head_index in self.heads.indices:
+            for param in self.heads.get(head_index).parameters():
+                param.requires_grad = train_heads

@@ -1,0 +1,83 @@
+"""Customized text Transformer (the paper's AG-News model).
+
+A pre-norm encoder classifier: token + learned positional embeddings -> N
+encoder layers grouped into stages -> mean pooling -> classifier.  Width
+variants scale the model dimension in whole head units (so attention reshapes
+stay valid at every multiplier) together with the FFN dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..autograd import Tensor
+from .base import IndexedModules, SliceableModel, scaled_channels
+
+__all__ = ["TextTransformer"]
+
+
+class _TokenStem(nn.Module):
+    """Token + positional embedding with a final layer norm."""
+
+    def __init__(self, vocab_size: int, dim: int, max_len: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.embed = nn.Embedding(vocab_size, dim, rng)
+        self.pos = nn.Parameter(
+            nn.init.normal((max_len, dim), 0.02, rng), scale_axes=(1,))
+        self.norm = nn.LayerNorm(dim)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        seq_len = tokens.shape[1]
+        h = self.embed(tokens) + self.pos[0:seq_len]
+        return self.norm(h)
+
+
+class TextTransformer(SliceableModel):
+    """Staged transformer encoder classifier."""
+
+    family = "transformer"
+    pool_kind = "sequence"
+
+    def __init__(self, num_classes: int, vocab_size: int = 256,
+                 width_mult: float = 1.0, num_stages: int | None = None,
+                 head_mode: str = "deepest", seed: int = 0,
+                 scale: str = "tiny", max_len: int = 32,
+                 base_dim: int = 32, num_heads: int = 4,
+                 layers_per_stage: int = 1, total_stages: int = 4):
+        super().__init__()
+        self._record_build_kwargs(
+            num_classes=num_classes, vocab_size=vocab_size,
+            width_mult=width_mult, num_stages=num_stages,
+            head_mode=head_mode, seed=seed, scale=scale, max_len=max_len,
+            base_dim=base_dim, num_heads=num_heads,
+            layers_per_stage=layers_per_stage, total_stages=total_stages)
+        if scale == "paper":
+            base_dim, layers_per_stage = 128, 2
+        self.width_mult = width_mult
+        self.head_mode = head_mode
+        self.total_stages = total_stages
+        owned = total_stages if num_stages is None else num_stages
+        if not 1 <= owned <= total_stages:
+            raise ValueError(f"num_stages must be in [1, {total_stages}]")
+
+        rng = np.random.default_rng(seed)
+        dim = scaled_channels(base_dim, width_mult, divisor=num_heads)
+        ffn_dim = scaled_channels(base_dim * 2, width_mult)
+        self.stem = _TokenStem(vocab_size, dim, max_len, rng)
+
+        self.stages = nn.ModuleList()
+        for _ in range(owned):
+            blocks = nn.Sequential()
+            for _ in range(layers_per_stage):
+                blocks.append(nn.TransformerEncoderLayer(dim, num_heads,
+                                                         ffn_dim, rng))
+            self.stages.append(blocks)
+
+        self.heads = IndexedModules()
+        head_indices = (range(owned) if head_mode == "all" else [owned - 1])
+        for index in head_indices:
+            self.heads.add(index, nn.Linear(dim, num_classes, rng,
+                                            scale_out=False))

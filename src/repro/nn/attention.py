@@ -1,0 +1,73 @@
+"""Multi-head self-attention and pre-norm transformer encoder layers.
+
+Used by the customized Transformer (AG-News) and the ALBERT family
+(Stack Overflow).  Width scaling shrinks the model dimension and FFN dimension
+while keeping the number of heads fixed (head dim scales), which keeps the
+prefix/rolling index-map semantics identical to the CNN case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autograd as ag
+from ..autograd import Tensor
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+
+__all__ = ["MultiHeadAttention", "TransformerEncoderLayer"]
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product multi-head self-attention."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, D) -> (B, H, S, Dh)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            (0, 2, 1, 3))
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose((0, 1, 3, 2))) * scale       # (B,H,S,S)
+        weights = ag.softmax(scores)
+        weights = self.dropout(weights)
+        context = weights @ v                                   # (B,H,S,Dh)
+        context = context.transpose((0, 2, 1, 3)).reshape(batch, seq, self.dim)
+        return self.out_proj(context)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm encoder block: LN -> MHA -> residual, LN -> FFN -> residual."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng, dropout=dropout)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        hidden = ag.gelu(self.ffn_in(self.norm2(x)))
+        return x + self.ffn_out(self.dropout(hidden))

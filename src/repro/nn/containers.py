@@ -1,0 +1,69 @@
+"""Module containers: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = str(index)
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x):
+        for module in self:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """List-like container; children are registered but not auto-called."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._order: list[str] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container; call its children")

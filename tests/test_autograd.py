@@ -1,0 +1,264 @@
+"""Gradient checks and semantics tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro.autograd import Tensor, check_gradients
+
+
+def _t(shape, seed=0, scale=1.0):
+    """Float64 test tensor: central differences need the extra precision."""
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestElementwise:
+    def test_add_broadcast(self):
+        a, b = _t((3, 4), 1), _t((4,), 2)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub_mul_div(self):
+        a, b = _t((2, 3), 1), _t((2, 3), 2)
+        b.data += 3.0  # keep divisor away from zero
+        check_gradients(lambda: ((a - b) * a / b).sum(), [a, b])
+
+    def test_scalar_ops(self):
+        a = _t((5,), 3)
+        check_gradients(lambda: (2.0 * a + 1.0 - a / 2.0).sum(), [a])
+
+    def test_pow_neg(self):
+        a = _t((4,), 4)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda: (a ** 3.0).sum() + (-a).sum(), [a])
+
+    @pytest.mark.parametrize("fn", [ag.exp, ag.tanh, ag.sigmoid, ag.relu,
+                                    ag.relu6, ag.gelu, ag.hardswish])
+    def test_unary_activations(self, fn):
+        a = _t((3, 5), 5)
+        a.data += 0.05  # avoid the exact kink of relu-like functions
+        check_gradients(lambda: fn(a).sum(), [a])
+
+    def test_log_sqrt(self):
+        a = _t((6,), 6)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda: (ag.log(a) + ag.sqrt(a)).sum(), [a])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        a = _t((3, 4, 2), 7)
+        check_gradients(lambda: (a.sum(axis=1, keepdims=True) * 2.0).sum(), [a])
+
+    def test_mean(self):
+        a = _t((4, 6), 8)
+        check_gradients(lambda: a.mean(axis=0).sum() + a.mean(), [a])
+
+    def test_max(self):
+        a = _t((5, 7), 9)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_reshape_transpose(self):
+        a = _t((2, 3, 4), 10)
+        check_gradients(
+            lambda: a.reshape(6, 4).transpose((1, 0)).sum(), [a])
+
+    def test_getitem(self):
+        a = _t((6, 4), 11)
+        check_gradients(lambda: a[1:4].sum() + a[0].sum(), [a])
+
+    def test_concat(self):
+        a, b = _t((2, 3), 12), _t((2, 5), 13)
+        check_gradients(lambda: ag.concat([a, b], axis=1).sum(), [a, b])
+
+    def test_matmul_2d(self):
+        a, b = _t((3, 4), 14), _t((4, 2), 15)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a, b = _t((2, 3, 4), 16), _t((2, 4, 5), 17)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+
+class TestNNOps:
+    def test_linear(self):
+        x, w, b = _t((4, 3), 1), _t((5, 3), 2), _t((5,), 3)
+        check_gradients(lambda: ag.linear(x, w, b).sum(), [x, w, b])
+
+    def test_linear_3d_input(self):
+        x, w = _t((2, 3, 4), 4), _t((6, 4), 5)
+        check_gradients(lambda: ag.linear(x, w).sum(), [x, w])
+
+    def test_conv2d_basic(self):
+        x, w, b = _t((2, 3, 6, 6), 6), _t((4, 3, 3, 3), 7, 0.3), _t((4,), 8)
+        check_gradients(
+            lambda: ag.conv2d(x, w, b, stride=1, padding=1).sum(), [x, w, b])
+
+    def test_conv2d_stride2(self):
+        x, w = _t((1, 2, 8, 8), 9), _t((3, 2, 3, 3), 10, 0.3)
+        check_gradients(lambda: ag.conv2d(x, w, stride=2, padding=1).sum(),
+                        [x, w])
+
+    def test_conv2d_depthwise(self):
+        x, w = _t((2, 4, 6, 6), 11), _t((4, 1, 3, 3), 12, 0.3)
+        check_gradients(
+            lambda: ag.conv2d(x, w, stride=1, padding=1, groups=4).sum(),
+            [x, w])
+
+    def test_conv2d_1x1(self):
+        x, w = _t((2, 4, 5, 5), 13), _t((6, 4, 1, 1), 14, 0.3)
+        check_gradients(lambda: ag.conv2d(x, w).sum(), [x, w])
+
+    def test_conv2d_shape_validation(self):
+        x, w = _t((1, 3, 4, 4)), _t((4, 2, 3, 3))
+        with pytest.raises(ValueError):
+            ag.conv2d(x, w)
+
+    def test_max_pool(self):
+        x = _t((2, 3, 4, 4), 15)
+        check_gradients(lambda: ag.max_pool2d(x, 2).sum(), [x])
+
+    def test_avg_pool(self):
+        x = _t((2, 3, 4, 4), 16)
+        check_gradients(lambda: ag.avg_pool2d(x, 2).sum(), [x])
+
+    def test_global_avg_pool(self):
+        x = _t((2, 3, 5, 5), 17)
+        check_gradients(lambda: ag.global_avg_pool2d(x).sum(), [x])
+
+    def test_batch_norm_training(self):
+        x, g, b = _t((4, 3, 2, 2), 18), _t((3,), 19), _t((3,), 20)
+        rm, rv = np.zeros(3, np.float32), np.ones(3, np.float32)
+        check_gradients(
+            lambda: ag.batch_norm(x, g, b, rm.copy(), rv.copy(),
+                                  training=True).sum(), [x, g, b])
+
+    def test_batch_norm_eval_uses_running_stats(self):
+        x = _t((4, 3, 2, 2), 21)
+        g = Tensor(np.ones(3, np.float32), requires_grad=True)
+        b = Tensor(np.zeros(3, np.float32), requires_grad=True)
+        rm = np.full(3, 0.5, np.float32)
+        rv = np.full(3, 2.0, np.float32)
+        out = ag.batch_norm(x, g, b, rm, rv, training=False)
+        expected = (x.data - 0.5) / np.sqrt(2.0 + 1e-5)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_batch_norm_updates_running_stats(self):
+        x = _t((8, 3, 4, 4), 22)
+        g, b = _t((3,), 23), _t((3,), 24)
+        rm = np.zeros(3, np.float32)
+        rv = np.ones(3, np.float32)
+        ag.batch_norm(x, g, b, rm, rv, training=True, momentum=0.5)
+        batch_mean = x.data.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(rm, 0.5 * batch_mean, rtol=1e-5)
+
+    def test_batch_norm_2d_input(self):
+        x, g, b = _t((6, 4), 25), _t((4,), 26), _t((4,), 27)
+        rm, rv = np.zeros(4, np.float32), np.ones(4, np.float32)
+        check_gradients(
+            lambda: ag.batch_norm(x, g, b, rm.copy(), rv.copy(),
+                                  training=True).sum(), [x, g, b])
+
+    def test_layer_norm(self):
+        x, g, b = _t((3, 4, 5), 28), _t((5,), 29), _t((5,), 30)
+        check_gradients(lambda: ag.layer_norm(x, g, b).sum(), [x, g, b])
+
+    def test_embedding(self):
+        w = _t((10, 4), 31)
+        idx = np.array([[1, 2, 3], [3, 3, 9]])
+        check_gradients(lambda: ag.embedding(w, idx).sum(), [w])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = _t((4, 7), 32)
+        out = ag.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_softmax_grad(self):
+        x = _t((3, 5), 33)
+        weights = np.linspace(0.5, 1.5, 15).reshape(3, 5).astype(np.float32)
+        check_gradients(lambda: (ag.softmax(x) * Tensor(weights)).sum(), [x])
+
+    def test_log_softmax_grad(self):
+        x = _t((3, 5), 34)
+        weights = np.linspace(0.5, 1.5, 15).reshape(3, 5).astype(np.float32)
+        check_gradients(lambda: (ag.log_softmax(x) * Tensor(weights)).sum(), [x])
+
+    def test_cross_entropy_matches_manual(self):
+        x = _t((4, 6), 35)
+        labels = np.array([0, 2, 5, 1])
+        loss = ag.cross_entropy(x, labels)
+        logp = ag.log_softmax(x).data
+        manual = -logp[np.arange(4), labels].mean()
+        assert abs(loss.item() - manual) < 1e-6
+
+    def test_cross_entropy_grad(self):
+        x = _t((4, 6), 36)
+        labels = np.array([0, 2, 5, 1])
+        check_gradients(lambda: ag.cross_entropy(x, labels), [x])
+
+    def test_soft_cross_entropy_grad(self):
+        x = _t((4, 6), 37)
+        rng = np.random.default_rng(0)
+        target = rng.dirichlet(np.ones(6), size=4).astype(np.float32)
+        check_gradients(lambda: ag.soft_cross_entropy(x, target), [x])
+
+    def test_mse_grad(self):
+        x = _t((3, 4), 38)
+        target = np.zeros((3, 4), np.float32)
+        check_gradients(lambda: ag.mse_loss(x, target), [x])
+
+    def test_dropout_eval_is_identity(self):
+        x = _t((5, 5), 39)
+        out = ag.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200), np.float32), requires_grad=True)
+        out = ag.dropout(x, 0.25, training=True, rng=rng)
+        # Inverted dropout keeps the expectation.
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+
+class TestGraphSemantics:
+    def test_reused_tensor_accumulates(self):
+        a = _t((3,), 40)
+        check_gradients(lambda: (a * a + a).sum(), [a])
+
+    def test_diamond_graph(self):
+        a = _t((4,), 41)
+        def fn():
+            b = a * 2.0
+            c = a + 1.0
+            return (b * c).sum()
+        check_gradients(fn, [a])
+
+    def test_no_grad_blocks_graph(self):
+        a = _t((3,), 42)
+        with ag.no_grad():
+            out = (a * 2.0).sum()
+        assert out._backward is None
+        assert not out.requires_grad
+
+    def test_backward_accumulates_across_calls(self):
+        a = _t((3,), 43)
+        (a * 2.0).sum().backward()
+        first = a.grad.copy()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0 * first)
+
+    def test_detach(self):
+        a = _t((3,), 44)
+        d = a.detach()
+        assert not d.requires_grad
+        (d * 3.0).sum().backward()
+        assert a.grad is None
+
+    def test_deep_chain(self):
+        a = _t((2, 2), 45)
+        def fn():
+            x = a
+            for _ in range(20):
+                x = ag.tanh(x * 0.9 + 0.1)
+            return x.sum()
+        check_gradients(fn, [a])

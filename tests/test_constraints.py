@@ -1,0 +1,151 @@
+"""Tests for constraint specs, budget-driven assignment and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (ConstraintSpec, ConstraintAssigner,
+                               build_scenario)
+from repro.data import load_dataset, partition_dataset
+from repro.hw import sample_fleet
+from repro.models import build_model
+from repro.algorithms import get_algorithm
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load_dataset("harbox", seed=0, num_users=12, samples_per_user=10,
+                      test_size=60)
+    fleet = sample_fleet(12, seed=1)
+    shards = partition_dataset(ds, 12, seed=2)
+    base = build_model("har_cnn", num_classes=ds.num_classes, seed=0)
+    pool = get_algorithm("sheterofl").build_pool(base)
+    return ds, fleet, shards, base, pool
+
+
+class TestSpec:
+    def test_unknown_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintSpec(constraints=("bandwidth",))
+
+    def test_label(self):
+        spec = ConstraintSpec(constraints=("memory", "communication"))
+        assert spec.label == "mem+comm"
+        assert ConstraintSpec(constraints=()).label == "none"
+
+    def test_with_constraints(self):
+        spec = ConstraintSpec(constraints=("computation",))
+        combo = spec.with_constraints("memory", "computation")
+        assert combo.constraints == ("memory", "computation")
+        assert combo.deadline_quantile == spec.deadline_quantile
+
+
+class TestAssigner:
+    def _assigner(self, setup, **spec_kwargs):
+        ds, fleet, shards, base, pool = setup
+        spec = ConstraintSpec(**spec_kwargs)
+        return ConstraintAssigner(spec, pool, fleet,
+                                  [len(s) for s in shards])
+
+    def test_computation_assignment_monotone_in_compute(self, setup):
+        """Faster devices get models at least as large."""
+        ds, fleet, shards, base, pool = setup
+        assigner = self._assigner(setup, constraints=("computation",))
+        entries = assigner.assign()
+        order = np.argsort([c.compute_flops for c in fleet])
+        flops = [entries[i].stats.flops_per_sample for i in order]
+        shard_sizes = [len(shards[i]) for i in order]
+        # With equal shards, assignment is monotone; allow shard-size noise.
+        big_and_slow = flops[0]
+        big_and_fast = flops[-1]
+        assert big_and_fast >= big_and_slow
+
+    def test_computation_produces_heterogeneity(self, setup):
+        assigner = self._assigner(setup, constraints=("computation",))
+        keys = {e.key for e in assigner.assign()}
+        assert len(keys) > 1, "constraint should yield mixed levels"
+
+    def test_tight_deadline_shrinks_everyone(self, setup):
+        assigner = self._assigner(setup, constraints=("computation",),
+                                  round_deadline_s=1e-9)
+        assert all(e.key == "x0.25" for e in assigner.assign())
+
+    def test_loose_deadline_gives_largest(self, setup):
+        assigner = self._assigner(setup, constraints=("computation",),
+                                  round_deadline_s=1e9)
+        assert all(e.key == "x1.00" for e in assigner.assign())
+
+    def test_memory_respects_tiers(self, setup):
+        ds, fleet, shards, base, pool = setup
+        assigner = self._assigner(setup, constraints=("memory",))
+        entries = assigner.assign()
+        by_tier = {}
+        for cap, entry in zip(fleet, entries):
+            by_tier.setdefault(cap.tier, set()).add(entry.proportion)
+        if "16gb_gpu" in by_tier and "no_gpu" in by_tier:
+            assert max(by_tier["16gb_gpu"]) >= max(by_tier["no_gpu"])
+
+    def test_combination_is_intersection(self, setup):
+        single = self._assigner(setup, constraints=("computation",)).assign()
+        combo = self._assigner(
+            setup, constraints=("computation", "memory")).assign()
+        for s, c in zip(single, combo):
+            assert c.stats.flops_per_sample <= s.stats.flops_per_sample + 1e-9
+
+    def test_homogeneous_assignment_uniform_and_feasible(self, setup):
+        assigner = self._assigner(setup, constraints=("computation",))
+        entries = assigner.assign_homogeneous()
+        assert len({e.key for e in entries}) == 1
+        hetero = assigner.assign()
+        # The common model can be no larger than anyone's individual pick.
+        assert all(entries[0].stats.flops_per_sample
+                   <= e.stats.flops_per_sample + 1e-9 for e in hetero)
+
+    def test_budget_resolution_quantile(self, setup):
+        assigner = self._assigner(setup, constraints=("computation",),
+                                  deadline_quantile=0.5)
+        assert assigner.round_deadline_s is not None
+        assert assigner.comm_budget_s is None
+
+    def test_mismatched_fleet_rejected(self, setup):
+        ds, fleet, shards, base, pool = setup
+        with pytest.raises(ValueError):
+            ConstraintAssigner(ConstraintSpec(), pool, fleet, [1, 2])
+
+
+class TestScenario:
+    def test_build_scenario_wires_everything(self, setup):
+        ds, fleet, shards, base, pool = setup
+        spec = ConstraintSpec(constraints=("computation",))
+        scenario = build_scenario("sheterofl", base, ds, 12, spec, seed=0)
+        assert scenario.algorithm.num_clients == 12
+        dist = scenario.level_distribution()
+        assert sum(dist.values()) == 12
+
+    def test_homogeneous_baseline_scenario(self, setup):
+        ds, fleet, shards, base, pool = setup
+        spec = ConstraintSpec(constraints=("computation",))
+        scenario = build_scenario("fedavg_smallest", base, ds, 12, spec,
+                                  seed=0)
+        assert len(scenario.level_distribution()) == 1
+
+    def test_base_model_overrides_applied(self, setup):
+        ds, fleet, shards, base, pool = setup
+        spec = ConstraintSpec(constraints=("memory",))
+        scenario = build_scenario("depthfl", base, ds, 12, spec, seed=0)
+        # DepthFL's server model owns a head at every stage boundary.
+        heads = [n for n in scenario.algorithm.global_state
+                 if n.startswith("heads.")]
+        stages = {n.split(".")[1] for n in heads}
+        assert stages == {"0", "1", "2", "3"}
+
+    def test_depthfl_memory_punished(self, setup):
+        """The Figure 6 mechanism: DepthFL's memory-heavy variants are
+        infeasible on small tiers, forcing small depth fractions."""
+        ds, fleet, shards, base, pool = setup
+        spec = ConstraintSpec(constraints=("memory",))
+        depth = build_scenario("depthfl", base, ds, 12, spec, seed=0)
+        width = build_scenario("sheterofl", base, ds, 12, spec, seed=0)
+        mean_prop = lambda s: np.mean(  # noqa: E731
+            [e.proportion for e in
+             (s.algorithm.clients[i].entry for i in range(12))])
+        assert mean_prop(depth) <= mean_prop(width) + 1e-9

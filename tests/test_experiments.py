@@ -1,0 +1,181 @@
+"""Smoke-scale integration tests: every table/figure harness produces rows."""
+
+import pytest
+
+from repro.experiments import (get_scale, run_one, run_suite, format_table,
+                               format_radar, base_arch_for,
+                               resolve_target_accuracy)
+from repro.experiments import scales
+from repro.constraints import ConstraintSpec
+from repro.fl import History, RoundRecord
+
+
+class TestScales:
+    def test_presets_exist(self):
+        for name in ("smoke", "demo", "paper"):
+            scale = get_scale(name)
+            assert scale.num_rounds > 0
+            for ds in ("cifar10", "cifar100", "agnews", "stackoverflow",
+                       "harbox", "ucihar"):
+                assert scale.clients_for(ds) >= 1
+
+    def test_paper_scale_matches_section_v(self):
+        paper = get_scale("paper")
+        assert paper.num_clients == {"cifar10": 100, "cifar100": 100,
+                                     "agnews": 50, "stackoverflow": 500,
+                                     "harbox": 100, "ucihar": 30}
+        assert paper.num_rounds == 1000
+        assert paper.sample_ratio == 0.1
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+
+class TestMapping:
+    def test_table2_mapping(self):
+        assert base_arch_for("cifar100", "width") == "resnet101"
+        assert base_arch_for("cifar10", "depth") == "mobilenet_v2"
+        assert base_arch_for("stackoverflow", "topology") == "albert_base"
+        assert base_arch_for("agnews", "width") == "transformer"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            base_arch_for("mnist", "width")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": None}, {"a": 22.5, "b": "x"}]
+        text = format_table(rows, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-" in text and "22.5" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_radar_normalises(self):
+        rows = [{"algorithm": "a", "acc": 0.2, "time": 10.0},
+                {"algorithm": "b", "acc": 0.8, "time": 50.0}]
+        text = format_radar(rows, ["acc", "time"],
+                            higher_better={"acc": True, "time": False})
+        # Best-on-axis scores 1: b on acc, a on time (inverted axis).
+        row_a = next(l for l in text.splitlines() if l.split()[:1] == ["a"])
+        row_b = next(l for l in text.splitlines() if l.split()[:1] == ["b"])
+        assert row_a.split() == ["a", "0", "1"]
+        assert row_b.split() == ["b", "1", "0"]
+
+
+class TestTargetResolution:
+    def test_target_between_chance_and_best(self):
+        h = History(algorithm="a", dataset="d")
+        h.append(RoundRecord(0, 1.0, 1.0, 0.5, global_accuracy=0.6))
+        target = resolve_target_accuracy([h], num_classes=10)
+        assert 0.1 < target < 0.6
+
+
+class TestHarnesses:
+    """Every artifact's run() yields well-formed rows at smoke scale."""
+
+    def test_table1(self):
+        from repro.experiments import table1
+        rows = table1.run(scale="smoke")
+        assert {r["method"] for r in rows} == \
+            {"SHeteroFL", "DepthFL", "FedRolex", "FeDepth"}
+        for row in rows:
+            assert row["params_M"] > 0 and row["memory_MB"] > 0
+
+    def test_table1_memory_pattern(self):
+        from repro.experiments import table1
+        rows = {r["method"]: r for r in table1.run(scale="paper")}
+        assert rows["DepthFL"]["memory_MB"] > rows["SHeteroFL"]["memory_MB"]
+        assert rows["FeDepth"]["memory_MB"] < rows["DepthFL"]["memory_MB"]
+
+    def test_table2(self):
+        from repro.experiments import table2
+        rows = table2.run()
+        assert len(rows) == 8
+        assert {r["hetero"] for r in rows} == {"width", "depth", "topology"}
+
+    def test_table3(self):
+        from repro.experiments import table3
+        rows = table3.run()
+        assert {r["device"] for r in rows} == {
+            "jetson_orin_nx", "jetson_tx2_nx", "jetson_nano",
+            "raspberry_pi_4b"}
+
+    def test_fig3_pool_monotone(self):
+        from repro.experiments import fig3
+        rows = fig3.run(scale="smoke")
+        for method in ("fjord", "sheterofl", "fedrolex"):
+            series = [r for r in rows if r["method"] == method]
+            params = [r["params_M"] for r in series]
+            assert params == sorted(params, reverse=True)
+
+    def test_fig4_smoke(self):
+        from repro.experiments import fig4
+        rows = fig4.run(scale="smoke", datasets=["harbox"],
+                        algorithms=["sheterofl", "fedepth"])
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["global_acc"] <= 1.0
+            assert row["effectiveness"] is not None
+
+    def test_fig5_smoke(self):
+        from repro.experiments import fig5
+        rows = fig5.run(scale="smoke", datasets=["harbox"],
+                        algorithms=["fjord"])
+        assert rows[0]["algorithm"] == "fjord"
+
+    def test_fig6_default_datasets(self):
+        from repro.experiments import fig6
+        assert fig6.MEMORY_DATASETS == ["cifar100", "stackoverflow"]
+
+    def test_fig7_smoke(self):
+        from repro.experiments import fig7
+        rows = fig7.run(scale="smoke", dataset="harbox",
+                        algorithms=["sheterofl"],
+                        combos=[("memory",), ("memory", "communication")])
+        labels = {r["constraints"] for r in rows}
+        assert labels == {"mem", "mem+comm"}
+
+    def test_fig8_smoke(self):
+        from repro.experiments import fig8
+        rows = fig8.run(scale="smoke", datasets=["cifar10"],
+                        algorithms=["sheterofl"])
+        assert {r["partition"] for r in rows} == {"iid", "niid-0.5", "niid-5"}
+
+    def test_fig9_counts(self):
+        from repro.experiments import fig9
+        assert fig9.client_counts_for("paper") == [100, 200, 500]
+        rows = fig9.run(scale="smoke", algorithms=["sheterofl"],
+                        client_counts=[4, 8])
+        assert {r["clients"] for r in rows} == {4, 8}
+
+    def test_fig1_radar(self):
+        from repro.experiments import fig1
+        rows = fig1.run(scale="smoke", dataset="harbox")
+        assert rows  # fig1 reuses fig4 rows
+
+
+class TestRunnerEndToEnd:
+    def test_run_one_smoke(self):
+        spec = ConstraintSpec(constraints=("computation",))
+        result = run_one("sheterofl", "harbox", spec, scale="smoke", seed=0)
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.history.total_sim_time_s > 0
+
+    def test_run_suite_shares_baseline(self):
+        spec = ConstraintSpec(constraints=("computation",))
+        summaries = run_suite(["sheterofl", "fjord"], "harbox", spec,
+                              scale="smoke", seed=0)
+        assert len(summaries) == 2
+        assert all(s.effectiveness is not None for s in summaries)
+
+    def test_dirichlet_partition_run(self):
+        spec = ConstraintSpec(constraints=("computation",))
+        result = run_one("sheterofl", "cifar10", spec, scale="smoke",
+                         partition_scheme="dirichlet", alpha=0.5)
+        assert result.final_accuracy >= 0.0

@@ -1,0 +1,159 @@
+"""Tests for the FL engine: local training, history, simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro.data import load_dataset
+from repro.fl import (LocalTrainConfig, train_local, make_optimizer,
+                      accuracy, predict, History, RoundRecord,
+                      SimulationConfig, sample_clients)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def tiny_task():
+    ds = load_dataset("harbox", seed=0, num_users=10, samples_per_user=10,
+                      test_size=60)
+    model = build_model("har_cnn", num_classes=ds.num_classes, seed=0)
+    return ds, model
+
+
+class TestLocalTraining:
+    def test_config_resolve_modality(self):
+        cnn = build_model("har_cnn", num_classes=3, seed=0)
+        text = build_model("transformer", num_classes=3, seed=0)
+        auto = LocalTrainConfig()
+        assert auto.resolve(cnn).optimizer == "sgd"
+        assert auto.resolve(text).optimizer == "adam"
+
+    def test_config_resolve_lr_defaults(self):
+        cnn = build_model("har_cnn", num_classes=3, seed=0)
+        assert LocalTrainConfig().resolve(cnn).lr == 0.05
+        assert LocalTrainConfig(optimizer="adam").resolve(cnn).lr == 2e-3
+
+    def test_explicit_lr_kept(self):
+        cnn = build_model("har_cnn", num_classes=3, seed=0)
+        assert LocalTrainConfig(lr=0.7).resolve(cnn).lr == 0.7
+
+    def test_make_optimizer_trainable_only(self):
+        model = build_model("har_cnn", num_classes=3, seed=0)
+        model.set_trainable_stages([3], train_stem=False)
+        opt = make_optimizer(model, LocalTrainConfig().resolve(model))
+        assert len(opt.params) == len(model.trainable_parameters())
+
+    def test_training_reduces_loss(self, tiny_task):
+        ds, model = tiny_task
+        model = model.variant(seed=7)
+        x, y = ds.x_train[:64], ds.y_train[:64]
+        rng = np.random.default_rng(0)
+        config = LocalTrainConfig(batch_size=16, local_epochs=1)
+        first = train_local(model, x, y, config, rng)
+        for _ in range(5):
+            last = train_local(model, x, y, config, rng)
+        assert last < first
+
+    def test_max_batches_caps_steps(self, tiny_task):
+        ds, model = tiny_task
+        model = model.variant(seed=8)
+        steps = []
+
+        def counting_loss(m, xb, yb):
+            steps.append(1)
+            return ag.cross_entropy(m(xb), yb)
+
+        config = LocalTrainConfig(batch_size=4, local_epochs=2, max_batches=3)
+        train_local(model, ds.x_train[:40], ds.y_train[:40], config,
+                    np.random.default_rng(0), loss_fn=counting_loss)
+        assert len(steps) == 6  # 3 batches x 2 epochs
+
+    def test_custom_loss_used(self, tiny_task):
+        ds, model = tiny_task
+        model = model.variant(seed=9)
+        config = LocalTrainConfig(batch_size=8, max_batches=1)
+        loss = train_local(model, ds.x_train[:16], ds.y_train[:16], config,
+                           np.random.default_rng(0),
+                           loss_fn=lambda m, xb, yb: ag.cross_entropy(m(xb), yb) * 0.0)
+        assert loss == 0.0
+
+    def test_empty_config_invalid_optimizer(self, tiny_task):
+        _, model = tiny_task
+        with pytest.raises(ValueError):
+            make_optimizer(model, LocalTrainConfig(optimizer="lbfgs", lr=0.1))
+
+
+class TestEvaluate:
+    def test_accuracy_range(self, tiny_task):
+        ds, model = tiny_task
+        acc = accuracy(model, ds.x_test, ds.y_test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predict_shape(self, tiny_task):
+        ds, model = tiny_task
+        preds = predict(model, ds.x_test, batch_size=16)
+        assert preds.shape == (ds.num_test,)
+
+    def test_eval_restores_training_mode(self, tiny_task):
+        ds, model = tiny_task
+        model.train()
+        accuracy(model, ds.x_test[:8], ds.y_test[:8])
+        assert model.training
+
+
+class TestHistory:
+    def _history(self):
+        h = History(algorithm="a", dataset="d")
+        for i, acc in enumerate([None, 0.3, None, 0.5, 0.7]):
+            h.append(RoundRecord(round_index=i, sim_time_s=10.0 * (i + 1),
+                                 round_time_s=10.0, train_loss=1.0,
+                                 global_accuracy=acc))
+        return h
+
+    def test_final_best_accuracy(self):
+        h = self._history()
+        assert h.final_accuracy == 0.7
+        assert h.best_accuracy == 0.7
+
+    def test_time_to_accuracy(self):
+        h = self._history()
+        assert h.time_to_accuracy(0.4) == 40.0
+        assert h.time_to_accuracy(0.3) == 20.0
+        assert h.time_to_accuracy(0.9) is None
+
+    def test_accuracy_curve(self):
+        times, accs = self._history().accuracy_curve()
+        np.testing.assert_array_equal(times, [20.0, 40.0, 50.0])
+        np.testing.assert_array_equal(accs, [0.3, 0.5, 0.7])
+
+    def test_stability(self):
+        h = self._history()
+        h.final_device_accuracies = [0.5, 0.7]
+        assert abs(h.stability() - np.var([0.5, 0.7])) < 1e-12
+
+    def test_empty_history_raises(self):
+        h = History(algorithm="a", dataset="d")
+        with pytest.raises(ValueError):
+            _ = h.final_accuracy
+        with pytest.raises(ValueError):
+            h.stability()
+
+    def test_total_sim_time(self):
+        assert self._history().total_sim_time_s == 50.0
+        assert History(algorithm="a", dataset="d").total_sim_time_s == 0.0
+
+
+class TestSampling:
+    def test_sample_count(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_clients(100, 0.1, rng)) == 10
+        assert len(sample_clients(5, 0.1, rng)) == 1   # at least one
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(1)
+        sampled = sample_clients(50, 0.5, rng)
+        assert len(np.unique(sampled)) == len(sampled)
+
+    def test_deterministic_given_seed(self):
+        a = sample_clients(100, 0.2, np.random.default_rng(3))
+        b = sample_clients(100, 0.2, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,59 @@
+"""Tests for the four PracMHBench metrics."""
+
+import numpy as np
+import pytest
+
+from repro.fl import History, RoundRecord
+from repro.metrics import (MetricSummary, summarize, global_accuracy,
+                           time_to_accuracy, stability, effectiveness)
+
+
+def _history(accs, name="algo", dt=10.0, device_accs=(0.4, 0.6)):
+    h = History(algorithm=name, dataset="ds")
+    for i, acc in enumerate(accs):
+        h.append(RoundRecord(round_index=i, sim_time_s=dt * (i + 1),
+                             round_time_s=dt, train_loss=1.0,
+                             global_accuracy=acc))
+    h.final_device_accuracies = list(device_accs)
+    return h
+
+
+class TestMetrics:
+    def test_global_accuracy_is_final(self):
+        assert global_accuracy(_history([0.1, 0.5, 0.4])) == 0.4
+
+    def test_time_to_accuracy_first_crossing(self):
+        h = _history([0.1, 0.5, 0.4])
+        assert time_to_accuracy(h, 0.45) == 20.0
+        assert time_to_accuracy(h, 0.95) is None
+
+    def test_stability_is_variance(self):
+        h = _history([0.5], device_accs=[0.2, 0.8])
+        assert abs(stability(h) - np.var([0.2, 0.8])) < 1e-12
+
+    def test_effectiveness_sign(self):
+        good = _history([0.6])
+        baseline = _history([0.5], name="fedavg_smallest")
+        assert effectiveness(good, baseline) == pytest.approx(0.1)
+        worse = _history([0.4])
+        assert effectiveness(worse, baseline) == pytest.approx(-0.1)
+
+    def test_summarize_full(self):
+        h = _history([0.3, 0.6])
+        baseline = _history([0.5])
+        summary = summarize(h, target_accuracy=0.55, baseline=baseline)
+        assert isinstance(summary, MetricSummary)
+        assert summary.global_accuracy == 0.6
+        assert summary.time_to_accuracy_s == 20.0
+        assert summary.effectiveness == pytest.approx(0.1)
+
+    def test_summarize_without_baseline(self):
+        summary = summarize(_history([0.3]), target_accuracy=0.9)
+        assert summary.effectiveness is None
+
+    def test_as_row_handles_misses(self):
+        summary = summarize(_history([0.3]), target_accuracy=0.99)
+        row = summary.as_row()
+        assert row["tta_s"] is None
+        assert row["effectiveness"] is None
+        assert row["global_acc"] == 0.3

@@ -1,0 +1,226 @@
+"""Tests for the module system, layers, containers and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import autograd as ag
+from repro.autograd import Tensor, check_gradients
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestModuleSystem:
+    def _mlp(self):
+        rng = _rng()
+        return nn.Sequential(nn.Linear(4, 8, rng), nn.Linear(8, 3, rng))
+
+    def test_named_parameters_paths(self):
+        mlp = self._mlp()
+        names = {name for name, _ in mlp.named_parameters()}
+        assert names == {"0.weight", "0.bias", "1.weight", "1.bias"}
+
+    def test_state_dict_roundtrip(self):
+        mlp = self._mlp()
+        state = mlp.state_dict()
+        other = self._mlp()
+        for value in other.state_dict().values():
+            value += 1.0  # make sure load actually changes something
+        other.load_state_dict(state)
+        for key, value in other.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+
+    def test_state_dict_is_a_copy(self):
+        mlp = self._mlp()
+        state = mlp.state_dict()
+        state["0.weight"][...] = 99.0
+        assert not np.any(mlp.state_dict()["0.weight"] == 99.0)
+
+    def test_load_state_dict_shape_mismatch(self):
+        mlp = self._mlp()
+        state = mlp.state_dict()
+        state["0.weight"] = np.zeros((2, 2), np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mlp.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self):
+        mlp = self._mlp()
+        state = mlp.state_dict()
+        del state["0.weight"]
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+    def test_load_state_dict_extra_key(self):
+        mlp = self._mlp()
+        state = mlp.state_dict()
+        state["ghost"] = np.zeros(3, np.float32)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+        mlp.load_state_dict(state, strict=False)  # tolerated when not strict
+
+    def test_train_eval_propagates(self):
+        mlp = self._mlp()
+        mlp.eval()
+        assert all(not m.training for _, m in mlp.named_modules())
+        mlp.train()
+        assert all(m.training for _, m in mlp.named_modules())
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_scale_axes_metadata(self):
+        rng = _rng()
+        conv = nn.Conv2d(3, 8, 3, rng, scale_in=False)
+        assert conv.weight.scale_axes == (0,)
+        conv2 = nn.Conv2d(8, 8, 3, rng)
+        assert conv2.weight.scale_axes == (0, 1)
+        dw = nn.Conv2d(8, 8, 3, rng, groups=8)
+        assert dw.weight.scale_axes == (0,)
+        bn = nn.BatchNorm2d(8)
+        axes = bn.state_scale_axes()
+        assert axes["running_mean"] == (0,)
+        assert axes["weight"] == (0,)
+
+    def test_num_parameters(self):
+        mlp = self._mlp()
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+
+class TestLayers:
+    def test_linear_forward_shape(self):
+        layer = nn.Linear(5, 7, _rng())
+        out = layer(Tensor(np.zeros((3, 5), np.float32)))
+        assert out.shape == (3, 7)
+
+    def test_conv_forward_shape(self):
+        layer = nn.Conv2d(3, 6, 3, _rng(), stride=2, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8), np.float32)))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_batchnorm_normalises(self):
+        bn = nn.BatchNorm2d(3)
+        rng = _rng(1)
+        x = Tensor(rng.standard_normal((16, 3, 4, 4)) * 5 + 2)
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-5
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_embedding_shape(self):
+        emb = nn.Embedding(20, 8, _rng())
+        out = emb(np.array([[0, 1], [2, 3], [4, 5]]))
+        assert out.shape == (3, 2, 8)
+
+    def test_dropout_deterministic_given_seed(self):
+        d1, d2 = nn.Dropout(0.5, seed=7), nn.Dropout(0.5, seed=7)
+        x = Tensor(np.ones((4, 4), np.float32))
+        np.testing.assert_array_equal(d1(x).data, d2(x).data)
+
+    def test_sequential_iteration(self):
+        seq = nn.Sequential(nn.Identity(), nn.Identity())
+        assert len(seq) == 2
+        seq.append(nn.Identity())
+        assert len(seq) == 3
+        assert isinstance(seq[2], nn.Identity)
+
+    def test_module_list_not_callable(self):
+        ml = nn.ModuleList([nn.Identity()])
+        with pytest.raises(RuntimeError):
+            ml(1)
+
+    def test_attention_shapes(self):
+        attn = nn.MultiHeadAttention(8, 2, _rng())
+        x = Tensor(np.zeros((2, 5, 8), np.float32))
+        assert attn(x).shape == (2, 5, 8)
+
+    def test_attention_grad(self):
+        rng = _rng(2)
+        attn = nn.MultiHeadAttention(4, 2, rng)
+        for p in attn.parameters():
+            p.data = p.data.astype(np.float64)
+        x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        check_gradients(lambda: attn(x).sum(), [x] + attn.parameters())
+
+    def test_transformer_layer_shapes(self):
+        layer = nn.TransformerEncoderLayer(8, 2, 16, _rng())
+        x = Tensor(np.zeros((2, 5, 8), np.float32))
+        assert layer(x).shape == (2, 5, 8)
+
+
+class TestOptim:
+    def _quadratic_problem(self):
+        rng = _rng(3)
+        target = rng.standard_normal((4, 4)).astype(np.float32)
+        param = nn.Parameter(np.zeros((4, 4), np.float32))
+        return param, target
+
+    def test_sgd_converges(self):
+        param, target = self._quadratic_problem()
+        opt = nn.SGD([param], lr=0.3)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = ag.mse_loss(param, target)
+            loss.backward()
+            opt.step()
+        assert ag.mse_loss(param, target).item() < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        param, target = self._quadratic_problem()
+        opt = nn.SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(100):
+            opt.zero_grad()
+            ag.mse_loss(param, target).backward()
+            opt.step()
+        assert ag.mse_loss(param, target).item() < 1e-3
+
+    def test_adam_converges(self):
+        param, target = self._quadratic_problem()
+        opt = nn.Adam([param], lr=0.05)
+        for _ in range(200):
+            opt.zero_grad()
+            ag.mse_loss(param, target).backward()
+            opt.step()
+        assert ag.mse_loss(param, target).item() < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        param = nn.Parameter(np.ones((4,), np.float32))
+        opt = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (param * 0.0).sum().backward()
+        opt.step()
+        assert np.all(param.data < 1.0)
+
+    def test_grad_clipping(self):
+        param = nn.Parameter(np.ones((4,), np.float32))
+        opt = nn.SGD([param], lr=1.0, max_grad_norm=1.0)
+        param.grad = np.full((4,), 100.0, np.float32)
+        opt.step()
+        # Update magnitude bounded by lr * max_norm.
+        assert np.linalg.norm(1.0 - param.data) <= 1.0 + 1e-5
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.0)
+
+    def test_mlp_learns_xor(self):
+        rng = _rng(4)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], np.float32)
+        y = np.array([0, 1, 1, 0])
+        model = nn.Sequential(nn.Linear(2, 16, rng), _Relu(),
+                              nn.Linear(16, 2, rng))
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ag.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        preds = model(Tensor(x)).data.argmax(axis=1)
+        np.testing.assert_array_equal(preds, y)
+
+
+class _Relu(nn.Module):
+    def forward(self, x):
+        return ag.relu(x)
