@@ -1,0 +1,276 @@
+"""Micro-benchmarks for the autograd engine hot path.
+
+Measures forward and forward+backward throughput (ops/sec) for the operators
+that dominate every PracMHBench run — conv2d variants, linear, attention,
+batch_norm — plus full MobileNet / ResNet training steps, and records the
+numbers in ``BENCH_autograd.json`` at the repo root so subsequent PRs have a
+perf trajectory to hold.
+
+Usage (standalone)::
+
+    PYTHONPATH=src python benchmarks/bench_autograd.py --label after
+
+Labels accumulate in the JSON file; once both ``before`` and ``after`` runs
+are present a ``speedup`` table is derived.  ``results/compare_bench.py``
+diffs two such files and fails on regression.
+
+The module is also collectable by pytest (smoke-scale) and feeds the shared
+``--bench-json`` recorder from ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import autograd as ag
+from repro import nn
+from repro.autograd import Tensor
+from repro.models.zoo import build_model
+from repro.nn.attention import TransformerEncoderLayer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_autograd.json"
+
+# Throughput floor below which a run is considered noise (guards the JSON).
+_MIN_OPS_PER_SEC = 1e-6
+
+
+def _timeit(fn, min_time: float, samples: int = 3) -> float:
+    """Return calls/sec of ``fn``: best of ``samples`` windows of
+    ``min_time`` seconds each (the max filters out scheduler interference)."""
+    fn()  # warmup (first call pays allocation / cache effects)
+    best = _MIN_OPS_PER_SEC
+    for _ in range(samples):
+        iters = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            iters += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_time and iters >= 3:
+                break
+        best = max(best, iters / elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Benchmark cases
+# ----------------------------------------------------------------------
+
+def _conv_case(xshape, wshape, stride, padding, groups, bias=True):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(xshape).astype(np.float32)
+    w = (rng.standard_normal(wshape) * 0.1).astype(np.float32)
+    b = rng.standard_normal((wshape[0],)).astype(np.float32) if bias else None
+
+    def forward():
+        xt = Tensor(x)
+        wt = Tensor(w)
+        bt = Tensor(b) if b is not None else None
+        with ag.no_grad():
+            ag.conv2d(xt, wt, bt, stride=stride, padding=padding, groups=groups)
+
+    def fwd_bwd():
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True) if b is not None else None
+        out = ag.conv2d(xt, wt, bt, stride=stride, padding=padding,
+                        groups=groups)
+        out.sum().backward()
+
+    return forward, fwd_bwd
+
+
+def _linear_case(batch=64, in_f=256, out_f=256):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((batch, in_f)).astype(np.float32)
+    w = (rng.standard_normal((out_f, in_f)) * 0.05).astype(np.float32)
+    b = rng.standard_normal((out_f,)).astype(np.float32)
+
+    def forward():
+        with ag.no_grad():
+            ag.linear(Tensor(x), Tensor(w), Tensor(b))
+
+    def fwd_bwd():
+        xt, wt, bt = (Tensor(x, True), Tensor(w, True), Tensor(b, True))
+        ag.linear(xt, wt, bt).sum().backward()
+
+    return forward, fwd_bwd
+
+
+def _batch_norm_case(shape=(16, 32, 16, 16)):
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(shape).astype(np.float32)
+    g = np.ones(shape[1], np.float32)
+    b = np.zeros(shape[1], np.float32)
+
+    def forward():
+        rm, rv = np.zeros(shape[1], np.float32), np.ones(shape[1], np.float32)
+        with ag.no_grad():
+            ag.batch_norm(Tensor(x), Tensor(g), Tensor(b), rm, rv,
+                          training=True)
+
+    def fwd_bwd():
+        rm, rv = np.zeros(shape[1], np.float32), np.ones(shape[1], np.float32)
+        xt, gt, bt = Tensor(x, True), Tensor(g, True), Tensor(b, True)
+        ag.batch_norm(xt, gt, bt, rm, rv, training=True).sum().backward()
+
+    return forward, fwd_bwd
+
+
+def _attention_case(batch=4, seq=32, dim=64, heads=4, ffn=128):
+    rng = np.random.default_rng(3)
+    layer = TransformerEncoderLayer(dim, heads, ffn, rng)
+    layer.eval()  # deterministic; dropout p=0 anyway
+    x = rng.standard_normal((batch, seq, dim)).astype(np.float32)
+
+    def forward():
+        with ag.no_grad():
+            layer(Tensor(x))
+
+    def fwd_bwd():
+        layer.zero_grad()
+        layer(Tensor(x, requires_grad=True)).sum().backward()
+
+    return forward, fwd_bwd
+
+
+def _train_step_case(arch: str, batch=8, image=16, classes=10):
+    model = build_model(arch, num_classes=classes, seed=0)
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((batch, 3, image, image)).astype(np.float32)
+    labels = rng.integers(0, classes, size=batch)
+    opt = nn.SGD(model.parameters(), lr=0.01, momentum=0.9)
+
+    def forward():
+        model.eval()
+        with ag.no_grad():
+            model(x)
+
+    def fwd_bwd():
+        model.train()
+        opt.zero_grad()
+        loss = ag.cross_entropy(model(x), labels)
+        loss.backward()
+        opt.step()
+
+    return forward, fwd_bwd
+
+
+CASES: dict[str, tuple] = {
+    "conv2d": lambda: _conv_case((8, 16, 16, 16), (32, 16, 3, 3), 1, 1, 1),
+    "conv2d_1x1": lambda: _conv_case((8, 32, 16, 16), (64, 32, 1, 1), 1, 0, 1),
+    "conv2d_depthwise": lambda: _conv_case((8, 32, 16, 16), (32, 1, 3, 3),
+                                           1, 1, 32, bias=False),
+    "conv2d_stride2": lambda: _conv_case((4, 16, 32, 32), (32, 16, 3, 3),
+                                         2, 1, 1),
+    "linear": _linear_case,
+    "batch_norm": _batch_norm_case,
+    "attention": _attention_case,
+    "mobilenet_step": lambda: _train_step_case("mobilenet_v2"),
+    "resnet_step": lambda: _train_step_case("resnet18"),
+}
+
+
+def run_benchmarks(min_time: float = 0.3,
+                   cases: list[str] | None = None) -> dict[str, dict]:
+    """Run the micro-benchmarks and return op -> throughput numbers."""
+    results: dict[str, dict] = {}
+    unknown = sorted(set(cases or ()) - set(CASES))
+    if unknown:
+        raise SystemExit(f"unknown benchmark case(s) {unknown}; "
+                         f"choose from {sorted(CASES)}")
+    for name in (cases or list(CASES)):
+        forward, fwd_bwd = CASES[name]()
+        results[name] = {
+            "forward_ops_per_sec": round(_timeit(forward, min_time), 2),
+            "fwd_bwd_ops_per_sec": round(_timeit(fwd_bwd, min_time), 2),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# JSON persistence
+# ----------------------------------------------------------------------
+
+def _speedups(runs: dict[str, dict]) -> dict[str, dict]:
+    """Derive after/before throughput ratios when both runs are recorded."""
+    if "before" not in runs or "after" not in runs:
+        return {}
+    table = {}
+    before, after = runs["before"]["results"], runs["after"]["results"]
+    for op in sorted(set(before) & set(after)):
+        table[op] = {
+            "forward": round(after[op]["forward_ops_per_sec"]
+                             / before[op]["forward_ops_per_sec"], 2),
+            "fwd_bwd": round(after[op]["fwd_bwd_ops_per_sec"]
+                             / before[op]["fwd_bwd_ops_per_sec"], 2),
+        }
+    return table
+
+
+def record(label: str, results: dict[str, dict],
+           json_path: Path = DEFAULT_JSON) -> dict:
+    """Merge a labelled run into the benchmark JSON file."""
+    doc = {"schema": "bench_autograd/v1", "runs": {}}
+    if json_path.exists():
+        doc = json.loads(json_path.read_text())
+        doc.setdefault("runs", {})
+    run = doc["runs"].setdefault(label, {"results": {}})
+    run["python"] = platform.python_version()
+    run["numpy"] = np.__version__
+    # Merge per-op so partial (--cases) runs refine an existing label.
+    run.setdefault("results", {}).update(results)
+    doc["speedup"] = _speedups(doc["runs"])
+    json_path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke scale; records into --bench-json when given)
+# ----------------------------------------------------------------------
+
+def test_bench_autograd(bench_record):
+    results = run_benchmarks(min_time=0.05,
+                             cases=["conv2d", "linear", "batch_norm"])
+    for op, numbers in results.items():
+        assert numbers["fwd_bwd_ops_per_sec"] > 0
+        bench_record(f"autograd/{op}", numbers)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after",
+                        help="run label stored in the JSON (before/after/...)")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help="output JSON path (default: repo BENCH_autograd.json)")
+    parser.add_argument("--min-time", type=float, default=0.3,
+                        help="minimum seconds to sample each benchmark")
+    parser.add_argument("--cases", nargs="*", default=None,
+                        help="subset of cases to run (default: all)")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(min_time=args.min_time, cases=args.cases)
+    doc = record(args.label, results, json_path=args.json)
+
+    width = max(len(op) for op in results)
+    print(f"{'op':<{width}}  {'forward/s':>12}  {'fwd+bwd/s':>12}")
+    for op, numbers in results.items():
+        print(f"{op:<{width}}  {numbers['forward_ops_per_sec']:>12.1f}  "
+              f"{numbers['fwd_bwd_ops_per_sec']:>12.1f}")
+    if doc.get("speedup"):
+        print("\nspeedup vs 'before':")
+        for op, ratio in doc["speedup"].items():
+            print(f"{op:<{width}}  forward x{ratio['forward']:<6} "
+                  f"fwd+bwd x{ratio['fwd_bwd']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json files and fail on performance regression.
+
+Works with both benchmark schemas in this repo:
+
+* ``bench_autograd/v1`` (from ``benchmarks/bench_autograd.py``): per-op
+  throughput numbers under ``runs.<label>.results``.
+* ``bench_suite/v1`` (from ``pytest benchmarks/ --bench-json PATH``):
+  per-test wall-clock seconds under ``results``.
+
+Every numeric leaf present in both files is compared.  Keys containing
+``per_sec`` count as throughput (higher is better); keys containing
+``seconds`` count as latency (lower is better).  Exit status is non-zero
+when any entry regresses by more than ``--threshold`` (default 20%).
+
+Usage::
+
+    python results/compare_bench.py old.json new.json [--threshold 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _numeric_leaves(node, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to ``dotted.path -> float`` entries."""
+    leaves: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_numeric_leaves(value, path))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        leaves[prefix] = float(node)
+    return leaves
+
+
+def _direction(path: str) -> str | None:
+    """'up' for throughput metrics, 'down' for latency ones, None to skip.
+
+    Only the leaf key decides: op/test names earlier in the path must not
+    influence the comparison direction.
+    """
+    leaf = path.rsplit(".", 1)[-1].lower()
+    if "per_sec" in leaf or "ops" in leaf:
+        return "up"
+    if "seconds" in leaf or "_time" in leaf:
+        return "down"
+    return None
+
+
+def compare(old_doc: dict, new_doc: dict,
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines) for the common numeric leaves."""
+    old = _numeric_leaves(old_doc)
+    new = _numeric_leaves(new_doc)
+    report: list[str] = []
+    regressions: list[str] = []
+    for path in sorted(set(old) & set(new)):
+        direction = _direction(path)
+        if direction is None or old[path] == 0:
+            continue
+        ratio = new[path] / old[path]
+        changed = ratio - 1.0
+        line = f"{path:60s} {old[path]:>12.2f} -> {new[path]:>12.2f}  ({changed:+.1%})"
+        report.append(line)
+        if direction == "up" and ratio < 1.0 - threshold:
+            regressions.append(line)
+        elif direction == "down" and ratio > 1.0 + threshold:
+            regressions.append(line)
+    return report, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    old_doc = json.loads(args.old.read_text())
+    new_doc = json.loads(args.new.read_text())
+    report, regressions = compare(old_doc, new_doc, args.threshold)
+
+    if not report:
+        print("no comparable numeric entries found between the two files",
+              file=sys.stderr)
+        return 2
+    print(f"comparing {args.old} -> {args.new} "
+          f"(threshold {args.threshold:.0%})")
+    for line in report:
+        print(" ", line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} entr"
+              f"{'y' if len(regressions) == 1 else 'ies'} regressed "
+              f">{args.threshold:.0%}:")
+        for line in regressions:
+            print(" ", line)
+        return 1
+    print("\nOK: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

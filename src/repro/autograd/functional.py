@@ -4,15 +4,24 @@ Includes the fused / structured operations that a layer library needs but that
 are awkward to express with elementwise primitives: im2col convolution,
 pooling, batch / layer normalisation, embeddings, softmax-family losses and
 dropout.  Every operator here is covered by numerical gradient checks in
-``tests/test_autograd.py``.
+``tests/test_autograd.py`` and ``tests/test_autograd_fastpaths.py``.
+
+The convolution hot path uses ``numpy.lib.stride_tricks.as_strided`` patch
+*views* over the (padded) input: the only copy in the forward pass is the
+single C-level reshape that lays the patches out for a batched BLAS GEMM —
+and pointwise (1x1, stride 1) convolutions, which dominate the MobileNet
+families, skip even that and run as pure reshaped matmuls.  Bias addition is
+fused into the ``linear`` / ``conv2d`` output in place, so it never costs an
+extra tape node or temporary.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from . import profiler
-from .tensor import Tensor, _send, as_tensor, is_grad_enabled
+from .tensor import Tensor, _needs_grad
 
 __all__ = [
     "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
@@ -26,18 +35,17 @@ __all__ = [
 # im2col helpers (plain numpy)
 # ----------------------------------------------------------------------
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
-    """Rearrange NCHW ``x`` into (N, C, kh, kw, oh, ow) patch views (copy)."""
+def _im2col_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Zero-copy (N, C, kh, kw, oh, ow) patch view of NCHW ``x``.
+
+    The view aliases ``x`` with overlapping windows — read-only use only.
+    """
     n, c, h, w = x.shape
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
-    return cols
+    sn, sc, sh, sw = x.strides
+    return as_strided(x, shape=(n, c, kh, kw, oh, ow),
+                      strides=(sn, sc, sh, sw, sh * stride, sw * stride))
 
 
 def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
@@ -76,35 +84,70 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     xd = x.data
     if padding:
         xd = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    oh = (xd.shape[2] - kh) // stride + 1
-    ow = (xd.shape[3] - kw) // stride + 1
+    hp, wp = xd.shape[2], xd.shape[3]
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    span = oh * ow
+    ocg = oc // groups
+    k = cg * kh * kw
 
     if profiler.profiling_active():
-        macs = n * oc * oh * ow * (c // groups) * kh * kw
+        macs = n * oc * oh * ow * cg * kh * kw
         profiler.add_flops(2 * macs, kind="conv2d")
-    cols = _im2col(xd, kh, kw, stride)                       # (N,C,kh,kw,oh,ow)
-    ocg = oc // groups
-    cols_g = cols.reshape(n, groups, cg * kh * kw, oh * ow)
-    wmat = weight.data.reshape(groups, ocg, cg * kh * kw)
-    out = np.einsum("gok,ngkl->ngol", wmat, cols_g, optimize=True)
+
+    # Pointwise (1x1, stride 1) convs are pure channel mixes: the GEMM input
+    # is just a reshape of the (padded) input — no patch copy at all.
+    pointwise = (kh == 1 and kw == 1 and stride == 1)
+    if pointwise:
+        cols = xd.reshape(n, groups, k, span)
+    else:
+        view = _im2col_view(xd, kh, kw, stride)
+        # The only copy of the forward pass: C-level gather into GEMM layout.
+        cols = view.reshape(n, groups, k, span)
+
+    if groups == 1:
+        wmat = weight.data.reshape(oc, k)
+        out = wmat @ cols.reshape(n, k, span)              # (n, oc, span)
+    else:
+        wmat = weight.data.reshape(groups, ocg, k)
+        out = wmat @ cols                                   # (n, g, ocg, span)
     out = out.reshape(n, oc, oh, ow)
     if bias is not None:
-        out = out + bias.data.reshape(1, oc, 1, 1)
+        out += bias.data.reshape(1, oc, 1, 1)
 
     padded_shape = xd.shape
 
-    def backward(grad: np.ndarray) -> None:
-        g = grad.reshape(n, groups, ocg, oh * ow)
-        dw = np.einsum("ngol,ngkl->gok", g, cols_g, optimize=True)
-        _send(weight, dw.reshape(weight.shape))
-        if bias is not None:
-            _send(bias, grad.sum(axis=(0, 2, 3)))
-        dcols = np.einsum("gok,ngol->ngkl", wmat, g, optimize=True)
-        dcols = dcols.reshape(n, c, kh, kw, oh, ow)
-        dxp = _col2im(dcols, padded_shape, kh, kw, stride)
-        if padding:
-            dxp = dxp[:, :, padding:-padding, padding:-padding]
-        _send(x, dxp)
+    def backward(grad: np.ndarray) -> tuple:
+        dx = dw = db = None
+        if groups == 1:
+            g = grad.reshape(n, oc, span)
+            if _needs_grad(weight):
+                # Batched GEMM over stride views (no operand copies), then
+                # reduce the batch axis.
+                dw = np.matmul(g, cols.reshape(n, k, span).transpose(0, 2, 1))
+                dw = dw.sum(axis=0).reshape(weight.shape)
+            if _needs_grad(x):
+                dcols = wmat.T @ g                          # (n, k, span)
+        else:
+            g = grad.reshape(n, groups, ocg, span)
+            if _needs_grad(weight):
+                dw = np.matmul(g, cols.transpose(0, 1, 3, 2)).sum(axis=0)
+                dw = dw.reshape(weight.shape)
+            if _needs_grad(x):
+                dcols = np.matmul(wmat.transpose(0, 2, 1), g)
+        if bias is not None and _needs_grad(bias):
+            db = grad.sum(axis=(0, 2, 3))
+        if _needs_grad(x):
+            if pointwise:
+                dxp = dcols.reshape(padded_shape)
+            else:
+                dxp = _col2im(dcols.reshape(n, c, kh, kw, oh, ow),
+                              padded_shape, kh, kw, stride)
+            dx = (dxp[:, :, padding:-padding, padding:-padding]
+                  if padding else dxp)
+        if bias is None:
+            return dx, dw
+        return dx, dw, db
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out, parents, backward)
@@ -123,11 +166,11 @@ def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
     view = x.data.reshape(n, c, oh, kernel, ow, kernel)
     out = view.max(axis=(3, 5))
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         mask = view == out[:, :, :, None, :, None]
         counts = mask.sum(axis=(3, 5), keepdims=True)
         g = grad[:, :, :, None, :, None] * mask / counts
-        _send(x, g.reshape(n, c, h, w))
+        return (g.reshape(n, c, h, w),)
 
     return Tensor._make(out, (x,), backward)
 
@@ -141,10 +184,10 @@ def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
     view = x.data.reshape(n, c, oh, kernel, ow, kernel)
     out = view.mean(axis=(3, 5))
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         g = grad[:, :, :, None, :, None] / (kernel * kernel)
         g = np.broadcast_to(g, (n, c, oh, kernel, ow, kernel))
-        _send(x, g.reshape(n, c, h, w))
+        return (g.reshape(n, c, h, w),)
 
     return Tensor._make(out, (x,), backward)
 
@@ -154,9 +197,9 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
     n, c, h, w = x.shape
     out = x.data.mean(axis=(2, 3))
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         g = grad[:, :, None, None] / (h * w)
-        _send(x, np.broadcast_to(g, x.shape).copy())
+        return (np.broadcast_to(g, x.shape),)
 
     return Tensor._make(out, (x,), backward)
 
@@ -199,17 +242,19 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
 
     m = x.size // x.shape[1]
 
-    def backward(grad: np.ndarray) -> None:
-        _send(gamma, (grad * xhat).sum(axis=axes))
-        _send(beta, grad.sum(axis=axes))
-        if training:
-            g_sum = grad.sum(axis=axes, keepdims=True)
-            gx_sum = (grad * xhat).sum(axis=axes, keepdims=True)
-            dx = (gamma.data.reshape(shape) * inv_std.reshape(shape) / m) * (
-                m * grad - g_sum - xhat * gx_sum)
-        else:
-            dx = grad * gamma.data.reshape(shape) * inv_std.reshape(shape)
-        _send(x, dx)
+    def backward(grad: np.ndarray) -> tuple:
+        dgamma = (grad * xhat).sum(axis=axes) if _needs_grad(gamma) else None
+        dbeta = grad.sum(axis=axes) if _needs_grad(beta) else None
+        dx = None
+        if _needs_grad(x):
+            if training:
+                g_sum = grad.sum(axis=axes, keepdims=True)
+                gx_sum = (grad * xhat).sum(axis=axes, keepdims=True)
+                dx = (gamma.data.reshape(shape) * inv_std.reshape(shape) / m) * (
+                    m * grad - g_sum - xhat * gx_sum)
+            else:
+                dx = grad * gamma.data.reshape(shape) * inv_std.reshape(shape)
+        return dx, dgamma, dbeta
 
     return Tensor._make(out, (x, gamma, beta), backward)
 
@@ -224,15 +269,18 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
     out = gamma.data * xhat + beta.data
     d = x.shape[-1]
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         reduce_axes = tuple(range(x.ndim - 1))
-        _send(gamma, (grad * xhat).sum(axis=reduce_axes))
-        _send(beta, grad.sum(axis=reduce_axes))
-        gg = grad * gamma.data
-        g_sum = gg.sum(axis=-1, keepdims=True)
-        gx_sum = (gg * xhat).sum(axis=-1, keepdims=True)
-        dx = (inv_std / d) * (d * gg - g_sum - xhat * gx_sum)
-        _send(x, dx)
+        dgamma = ((grad * xhat).sum(axis=reduce_axes)
+                  if _needs_grad(gamma) else None)
+        dbeta = grad.sum(axis=reduce_axes) if _needs_grad(beta) else None
+        dx = None
+        if _needs_grad(x):
+            gg = grad * gamma.data
+            g_sum = gg.sum(axis=-1, keepdims=True)
+            gx_sum = (gg * xhat).sum(axis=-1, keepdims=True)
+            dx = (inv_std / d) * (d * gg - g_sum - xhat * gx_sum)
+        return dx, dgamma, dbeta
 
     return Tensor._make(out, (x, gamma, beta), backward)
 
@@ -241,15 +289,37 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
 # Embedding / linear
 # ----------------------------------------------------------------------
 
+def _scatter_add_rows(full: np.ndarray, idx: np.ndarray,
+                      grad: np.ndarray) -> None:
+    """``full[idx] += grad`` with correct duplicate handling.
+
+    Uses sort + ``np.add.reduceat`` segment sums, which is far faster than
+    ``np.add.at`` buffered scatter; duplicate-free index sets degenerate to a
+    single slice-assign.
+    """
+    flat = idx.reshape(-1)
+    if flat.size == 0:
+        return
+    rows = grad.reshape(flat.size, -1)
+    order = np.argsort(flat, kind="stable")
+    sorted_idx = flat[order]
+    starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
+    if starts.size == flat.size:  # all indices distinct: plain assignment
+        full[flat] += rows
+        return
+    sums = np.add.reduceat(rows[order], starts, axis=0)
+    full[sorted_idx[starts]] += sums
+
+
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Gather rows of ``weight`` by an integer index array."""
     idx = np.asarray(indices)
     out = weight.data[idx]
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         full = np.zeros_like(weight.data)
-        np.add.at(full, idx, grad)
-        _send(weight, full)
+        _scatter_add_rows(full, idx, grad)
+        return (full,)
 
     return Tensor._make(out, (weight,), backward)
 
@@ -258,20 +328,26 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """``x @ weight.T + bias`` with ``weight`` of shape (out, in).
 
     Works for any leading batch shape; the contraction is over the last axis.
+    The bias add is fused in place into the GEMM output.
     """
     out = x.data @ weight.data.T
     if profiler.profiling_active():
         profiler.add_flops(2 * out.size * x.shape[-1], kind="linear")
     if bias is not None:
-        out = out + bias.data
+        out += bias.data
 
-    def backward(grad: np.ndarray) -> None:
-        x2 = x.data.reshape(-1, x.shape[-1])
+    def backward(grad: np.ndarray) -> tuple:
+        dx = dw = db = None
         g2 = grad.reshape(-1, weight.shape[0])
-        _send(weight, g2.T @ x2)
-        if bias is not None:
-            _send(bias, g2.sum(axis=0))
-        _send(x, (grad @ weight.data).reshape(x.shape))
+        if _needs_grad(weight):
+            dw = g2.T @ x.data.reshape(-1, x.shape[-1])
+        if bias is not None and _needs_grad(bias):
+            db = g2.sum(axis=0)
+        if _needs_grad(x):
+            dx = (grad @ weight.data).reshape(x.shape)
+        if bias is None:
+            return dx, dw
+        return dx, dw, db
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out, parents, backward)
@@ -290,9 +366,9 @@ def _softmax_np(z: np.ndarray) -> np.ndarray:
 def softmax(x: Tensor) -> Tensor:
     out = _softmax_np(x.data)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         dot = (grad * out).sum(axis=-1, keepdims=True)
-        _send(x, out * (grad - dot))
+        return (out * (grad - dot),)
 
     return Tensor._make(out, (x,), backward)
 
@@ -302,9 +378,9 @@ def log_softmax(x: Tensor) -> Tensor:
     lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
     out = z - lse
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         soft = np.exp(out)
-        _send(x, grad - soft * grad.sum(axis=-1, keepdims=True))
+        return (grad - soft * grad.sum(axis=-1, keepdims=True),)
 
     return Tensor._make(out, (x,), backward)
 
@@ -316,12 +392,14 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     z = logits.data - logits.data.max(axis=-1, keepdims=True)
     lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
     logp = z - lse
+
     loss = -logp[np.arange(n), labels].mean()
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         soft = np.exp(logp)
         soft[np.arange(n), labels] -= 1.0
-        _send(logits, grad * soft / n)
+        soft *= grad / n
+        return (soft,)
 
     return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
 
@@ -339,9 +417,9 @@ def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
     logp = z - lse
     loss = -(target * logp).sum(axis=-1).mean()
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         soft = np.exp(logp)
-        _send(logits, grad * (soft - target) / n)
+        return (grad * (soft - target) / n,)
 
     return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
 
@@ -353,8 +431,8 @@ def mse_loss(pred: Tensor, target) -> Tensor:
     diff = pred.data - target
     loss = np.asarray((diff * diff).mean(), dtype=pred.dtype)
 
-    def backward(grad: np.ndarray) -> None:
-        _send(pred, grad * 2.0 * diff / diff.size)
+    def backward(grad: np.ndarray) -> tuple:
+        return (grad * 2.0 * diff / diff.size,)
 
     return Tensor._make(loss, (pred,), backward)
 
@@ -365,13 +443,23 @@ def mse_loss(pred: Tensor, target) -> Tensor:
 
 def dropout(x: Tensor, p: float, training: bool,
             rng: np.random.Generator | None = None) -> Tensor:
-    """Inverted dropout; identity in eval mode or when ``p == 0``."""
+    """Inverted dropout; identity in eval mode or when ``p == 0``.
+
+    ``rng`` is required when the mask is actually drawn: sampling from an
+    implicit fresh generator would silently break run reproducibility.  Use
+    :class:`repro.nn.layers.Dropout`, which owns a seeded generator.
+    """
     if not training or p <= 0.0:
         return x
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        raise ValueError(
+            "dropout with training=True requires an explicit "
+            "numpy.random.Generator (rng=...); an implicit fresh generator "
+            "would make runs irreproducible — thread the owning layer's "
+            "seeded RNG (see repro.nn.layers.Dropout)")
     mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
 
-    def backward(grad: np.ndarray) -> None:
-        _send(x, grad * mask)
+    def backward(grad: np.ndarray) -> tuple:
+        return (grad * mask,)
 
     return Tensor._make(x.data * mask, (x,), backward)

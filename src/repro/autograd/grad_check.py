@@ -13,7 +13,7 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["numerical_gradient", "check_gradients"]
+__all__ = ["numerical_gradient", "check_gradients", "compare_gradients"]
 
 
 def numerical_gradient(fn: Callable[[], Tensor], param: Tensor,
@@ -54,3 +54,30 @@ def check_gradients(fn: Callable[[], Tensor], params: Sequence[Tensor],
             raise AssertionError(
                 f"gradient mismatch for param {index} (shape {param.shape}): "
                 f"max abs diff {worst:.3e}")
+
+
+def compare_gradients(fn_a: Callable[[], Tensor], fn_b: Callable[[], Tensor],
+                      params: Sequence[Tensor],
+                      atol: float = 1e-5, rtol: float = 1e-5) -> None:
+    """Assert two graph builders produce identical outputs *and* gradients.
+
+    Used to validate a fast-path implementation against a reference one: both
+    callables must build a scalar loss over the same ``params``.
+    """
+    grads: list[list[np.ndarray]] = []
+    outputs: list[float] = []
+    for fn in (fn_a, fn_b):
+        for param in params:
+            param.zero_grad()
+        loss = fn()
+        loss.backward()
+        outputs.append(loss.item())
+        for index, param in enumerate(params):
+            assert param.grad is not None, f"param {index} received no gradient"
+        grads.append([param.grad.copy() for param in params])
+    np.testing.assert_allclose(outputs[0], outputs[1], atol=atol, rtol=rtol,
+                               err_msg="forward outputs differ")
+    for index, (ga, gb) in enumerate(zip(*grads)):
+        np.testing.assert_allclose(
+            ga, gb, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for param {index}")

@@ -4,7 +4,27 @@ This module is the lowest layer of the PracMHBench reproduction: a compact
 autograd engine that provides exactly the operations the model zoo needs
 (dense/conv layers, normalisation, attention, losses).  The design follows the
 classic tape-based approach: every :class:`Tensor` produced by an operation
-stores its parents and a closure that accumulates gradients into them.
+stores its parents and a backward closure.
+
+Backward contract
+-----------------
+An op's backward closure receives the gradient of the loss w.r.t. the op's
+output and **returns** a tuple of per-parent gradients, aligned with
+``_parents`` (``None`` for parents that need no gradient).  The engine owns
+all gradient routing: closures never touch shared state, which makes
+:meth:`Tensor.backward` re-entrant (a backward may safely run while another
+backward is in flight, eg. distillation losses built inside callbacks).
+
+Returned gradient arrays may alias the incoming gradient or each other
+(identity/broadcast/slice views are encouraged — they avoid copies); the
+engine tracks buffer ownership and only accumulates in place into buffers it
+allocated itself, donating them to leaf ``.grad`` slots when possible.
+
+Topological ordering uses monotonically increasing creation sequence numbers:
+parents are always created before their children, so a single reachability
+sweep plus one C-level sort replaces the seed engine's two-pass DFS.  The
+order is cached on the root tensor (keyed on graph identity), so repeated
+``backward()`` calls on the same graph skip re-traversal entirely.
 
 Only float computations are differentiated; integer label / index arrays are
 passed around as plain numpy arrays.
@@ -13,7 +33,8 @@ passed around as plain numpy arrays.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Sequence
+import itertools
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -22,6 +43,10 @@ from . import profiler
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
 _GRAD_ENABLED = True
+
+# Creation-order sequence numbers; parents always precede children, so
+# sorting any reachable set by ``_seq`` yields a valid topological order.
+_SEQ = itertools.count()
 
 
 @contextlib.contextmanager
@@ -56,6 +81,11 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _needs_grad(t: "Tensor") -> bool:
+    """Whether a gradient must be routed to ``t`` (leaf param or op node)."""
+    return t.requires_grad or t._backward is not None
+
+
 class Tensor:
     """A numpy array with an optional gradient and backward tape entry.
 
@@ -69,7 +99,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_seq", "_order")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -80,8 +111,10 @@ class Tensor:
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Callable[[np.ndarray], None] | None = None
+        self._backward: Callable[[np.ndarray], tuple] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._seq: int = next(_SEQ)
+        self._order: list[Tensor] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -128,8 +161,12 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create an op output, wiring the tape only when grads are needed."""
+              backward: Callable[[np.ndarray], tuple]) -> "Tensor":
+        """Create an op output, wiring the tape only when grads are needed.
+
+        ``backward`` maps the output gradient to a tuple of per-parent
+        gradients aligned with ``parents`` (entries may be ``None``).
+        """
         if profiler.profiling_active():
             profiler.add_activation_bytes(data.nbytes)
         needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
@@ -139,86 +176,91 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Fold ``grad`` into :attr:`grad`.
+
+        ``owned`` marks buffers allocated by the backward engine itself;
+        those are adopted directly (zero copy) instead of duplicated.
+        """
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            if owned and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
+    def _topo_order(self) -> list["Tensor"]:
+        """Reverse topological order of tape nodes / grad leaves from here.
+
+        Cached on the root (graph identity == root identity): a second
+        ``backward()`` on the same output reuses the order with no traversal.
+        """
+        order = self._order
+        if order is None:
+            seen = {id(self)}
+            order = [self]
+            stack = [self]
+            while stack:
+                for parent in stack.pop()._parents:
+                    if id(parent) not in seen:
+                        seen.add(id(parent))
+                        if parent._backward is not None:
+                            order.append(parent)
+                            stack.append(parent)
+                        elif parent.requires_grad:
+                            order.append(parent)
+            # Children first: creation sequence numbers are a topo order.
+            order.sort(key=lambda t: t._seq, reverse=True)
+            self._order = order
+        return order
+
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode differentiation from this tensor.
 
-        ``grad`` defaults to ones (appropriate for scalar losses).
+        ``grad`` defaults to ones (appropriate for scalar losses).  The pass
+        uses only local state, so it is safe to start another backward while
+        this one is running.
         """
         if grad is None:
             grad = np.ones_like(self.data)
         else:
             grad = np.asarray(grad, dtype=self.data.dtype)
 
-        # Topological order over the reachable graph.
-        order: list[Tensor] = []
-        seen: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in seen:
-                    stack.append((parent, False))
-
         grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
+        # Buffers the engine allocated itself: safe to mutate in place and
+        # to donate to leaf ``.grad`` slots.
+        owned: set[int] = set()
+
+        for node in self._topo_order():
+            key = id(node)
+            node_grad = grads.pop(key, None)
             if node_grad is None:
                 continue
+            node_owned = key in owned
+            owned.discard(key)
             if node._backward is None:
                 if node.requires_grad:
-                    node._accumulate(node_grad)
+                    node._accumulate(node_grad, owned=node_owned)
                 continue
-            # Op node: run its backward closure, which routes parent grads
-            # through the stash; merge them into the traversal state.
-            node._backward(node_grad)
-            for key, (parent, parent_grad) in _STASH.pending.items():
-                if parent._backward is None:
-                    if parent.requires_grad:
-                        parent._accumulate(parent_grad)
-                elif key in grads:
-                    grads[key] = grads[key] + parent_grad
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not _needs_grad(parent):
+                    continue
+                pkey = id(parent)
+                existing = grads.get(pkey)
+                if existing is None:
+                    grads[pkey] = pgrad
+                elif pkey in owned:
+                    existing += pgrad
                 else:
-                    grads[key] = parent_grad
-            _STASH.pending = {}
-
-
-class _Stash:
-    """Per-process scratch space used to route gradients during backward."""
-
-    def __init__(self):
-        self.pending: dict[int, tuple[Tensor, np.ndarray]] = {}
-
-    def add(self, parent: Tensor, grad: np.ndarray) -> None:
-        key = id(parent)
-        if key in self.pending:
-            stored_parent, stored = self.pending[key]
-            self.pending[key] = (stored_parent, stored + grad)
-        else:
-            self.pending[key] = (parent, grad)
-
-
-_STASH = _Stash()
-
-
-def _send(parent: Tensor, grad: np.ndarray) -> None:
-    """Route ``grad`` toward ``parent`` (used by every op backward)."""
-    _STASH.add(parent, grad)
+                    # First fan-in merge allocates the owned buffer; later
+                    # contributions accumulate into it in place.
+                    grads[pkey] = existing + pgrad
+                    owned.add(pkey)
 
 
 def as_tensor(value) -> Tensor:
@@ -234,11 +276,13 @@ def _binary(a: Tensor, b, forward, grad_a, grad_b) -> Tensor:
     b = as_tensor(b)
     data = forward(a.data, b.data)
 
-    def backward(grad: np.ndarray) -> None:
-        if a.requires_grad or a._backward is not None:
-            _send(a, _unbroadcast(grad_a(grad, a.data, b.data), a.shape))
-        if b.requires_grad or b._backward is not None:
-            _send(b, _unbroadcast(grad_b(grad, a.data, b.data), b.shape))
+    def backward(grad: np.ndarray) -> tuple:
+        ga = gb = None
+        if _needs_grad(a):
+            ga = _unbroadcast(grad_a(grad, a.data, b.data), a.shape)
+        if _needs_grad(b):
+            gb = _unbroadcast(grad_b(grad, a.data, b.data), b.shape)
+        return ga, gb
 
     return Tensor._make(data, (a, b), backward)
 
@@ -246,8 +290,8 @@ def _binary(a: Tensor, b, forward, grad_a, grad_b) -> Tensor:
 def _unary(a: Tensor, forward, grad_fn) -> Tensor:
     data = forward(a.data)
 
-    def backward(grad: np.ndarray) -> None:
-        _send(a, grad_fn(grad, a.data, data))
+    def backward(grad: np.ndarray) -> tuple:
+        return (grad_fn(grad, a.data, data),)
 
     return Tensor._make(data, (a,), backward)
 
@@ -371,11 +415,15 @@ def gelu(a: Tensor) -> Tensor:
 def tsum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     data = a.data.sum(axis=axis, keepdims=keepdims)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
         g = grad
         if axis is not None and not keepdims:
             g = np.expand_dims(g, axis=axis)
-        _send(a, np.broadcast_to(g, a.shape).copy())
+        # Materialise contiguously: consumers (GEMM backward closures) hit
+        # numpy slow paths on 0-stride broadcast views.
+        out = np.empty(a.shape, dtype=g.dtype)
+        out[...] = g
+        return (out,)
 
     return Tensor._make(data, (a,), backward)
 
@@ -390,19 +438,37 @@ def tmean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     return tsum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
 
 
-def tmax(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
+def tmax(a: Tensor, axis: int | None = None, keepdims: bool = False,
+         **kwargs) -> Tensor:
+    """Maximum along ``axis`` (all elements when ``axis is None``).
+
+    Mirrors ``numpy.ndarray.max`` for the differentiable subset; gradient is
+    split equally between ties.  Numpy kwargs that have no differentiable
+    meaning here (``initial``, ``where``, ``out``) are rejected explicitly.
+    """
+    if kwargs:
+        raise TypeError(
+            f"tmax: unsupported keyword arguments {sorted(kwargs)}; only "
+            f"'axis' (int or None) and 'keepdims' are supported")
+    if axis is not None and not isinstance(axis, (int, np.integer)):
+        raise TypeError(
+            f"tmax: axis must be an int or None, got {axis!r} "
+            f"(reduce one axis at a time)")
     data = a.data.max(axis=axis, keepdims=keepdims)
 
-    def backward(grad: np.ndarray) -> None:
-        g = grad
-        full = data
+    def backward(grad: np.ndarray) -> tuple:
+        g, full = grad, data
         if not keepdims:
-            g = np.expand_dims(g, axis=axis)
-            full = np.expand_dims(data, axis=axis)
+            if axis is None:
+                full = np.asarray(data)  # 0-d; broadcasts against a.data
+            else:
+                g = np.expand_dims(g, axis=axis)
+                full = np.expand_dims(data, axis=axis)
         mask = (a.data == full)
         # Split gradient equally between ties (rare for float activations).
-        counts = mask.sum(axis=axis, keepdims=True)
-        _send(a, g * mask / counts)
+        counts = mask.sum() if axis is None else mask.sum(axis=axis,
+                                                          keepdims=True)
+        return (g * mask / counts,)
 
     return Tensor._make(data, (a,), backward)
 
@@ -425,8 +491,8 @@ def reshape(a: Tensor, *shape) -> Tensor:
         shape = tuple(shape[0])
     data = a.data.reshape(shape)
 
-    def backward(grad: np.ndarray) -> None:
-        _send(a, grad.reshape(a.shape))
+    def backward(grad: np.ndarray) -> tuple:
+        return (grad.reshape(a.shape),)
 
     return Tensor._make(data, (a,), backward)
 
@@ -436,19 +502,37 @@ def transpose(a: Tensor, axes: Sequence[int]) -> Tensor:
     data = a.data.transpose(axes)
     inverse = tuple(np.argsort(axes))
 
-    def backward(grad: np.ndarray) -> None:
-        _send(a, grad.transpose(inverse))
+    def backward(grad: np.ndarray) -> tuple:
+        return (grad.transpose(inverse),)
 
     return Tensor._make(data, (a,), backward)
+
+
+def _is_basic_index(index) -> bool:
+    """True for indices where every selected element is distinct (ints /
+    slices / ellipsis / newaxis), so the adjoint is a plain slice-assign."""
+    basic = (int, np.integer, slice)
+    if isinstance(index, basic) or index is None or index is Ellipsis:
+        return True
+    if isinstance(index, tuple):
+        return all(isinstance(i, basic) or i is None or i is Ellipsis
+                   for i in index)
+    return False
 
 
 def getitem(a: Tensor, index) -> Tensor:
     data = a.data[index]
 
-    def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(a.data)
-        np.add.at(full, index, grad)
-        _send(a, full)
+    if _is_basic_index(index):
+        def backward(grad: np.ndarray) -> tuple:
+            full = np.zeros(a.shape, dtype=a.data.dtype)
+            full[index] = grad
+            return (full,)
+    else:
+        def backward(grad: np.ndarray) -> tuple:
+            full = np.zeros(a.shape, dtype=a.data.dtype)
+            np.add.at(full, index, grad)
+            return (full,)
 
     return Tensor._make(data, (a,), backward)
 
@@ -459,11 +543,16 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
+        pieces = []
         for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not _needs_grad(tensor):
+                pieces.append(None)
+                continue
             slicer = [slice(None)] * grad.ndim
             slicer[axis] = slice(start, stop)
-            _send(tensor, grad[tuple(slicer)])
+            pieces.append(grad[tuple(slicer)])
+        return tuple(pieces)
 
     return Tensor._make(data, tuple(tensors), backward)
 
@@ -475,8 +564,8 @@ def pad2d(a: Tensor, padding: int) -> Tensor:
     p = padding
     data = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
 
-    def backward(grad: np.ndarray) -> None:
-        _send(a, grad[:, :, p:-p, p:-p])
+    def backward(grad: np.ndarray) -> tuple:
+        return (grad[:, :, p:-p, p:-p],)
 
     return Tensor._make(data, (a,), backward)
 
@@ -497,16 +586,20 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
         # MACs = output elements * contraction length; 2 FLOPs per MAC.
         profiler.add_flops(2 * data.size * a.shape[-1], kind="matmul")
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: np.ndarray) -> tuple:
+        ga = gb = None
         if a.ndim == b.ndim == 2:
-            _send(a, grad @ b.data.T)
-            _send(b, a.data.T @ grad)
+            if _needs_grad(a):
+                ga = grad @ b.data.T
+            if _needs_grad(b):
+                gb = a.data.T @ grad
         else:
             # Batched matmul with broadcasting.
-            ga = grad @ np.swapaxes(b.data, -1, -2)
-            gb = np.swapaxes(a.data, -1, -2) @ grad
-            _send(a, _unbroadcast(ga, a.shape))
-            _send(b, _unbroadcast(gb, b.shape))
+            if _needs_grad(a):
+                ga = _unbroadcast(grad @ np.swapaxes(b.data, -1, -2), a.shape)
+            if _needs_grad(b):
+                gb = _unbroadcast(np.swapaxes(a.data, -1, -2) @ grad, b.shape)
+        return ga, gb
 
     return Tensor._make(data, (a, b), backward)
 

@@ -33,7 +33,7 @@ class MultiHeadAttention(Module):
         self.k_proj = Linear(dim, dim, rng)
         self.v_proj = Linear(dim, dim, rng)
         self.out_proj = Linear(dim, dim, rng)
-        self.dropout = Dropout(dropout)
+        self.dropout = Dropout(dropout, rng=rng)
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         # (B, S, D) -> (B, H, S, Dh)
@@ -65,7 +65,7 @@ class TransformerEncoderLayer(Module):
         self.norm2 = LayerNorm(dim)
         self.ffn_in = Linear(dim, ffn_dim, rng)
         self.ffn_out = Linear(ffn_dim, dim, rng)
-        self.dropout = Dropout(dropout)
+        self.dropout = Dropout(dropout, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
         x = x + self.attn(self.norm1(x))

@@ -142,12 +142,22 @@ class Embedding(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout with an owned RNG (deterministic given the seed)."""
+    """Inverted dropout with an owned RNG (deterministic given the seed).
 
-    def __init__(self, p: float, seed: int = 0):
+    Pass the model's construction ``rng`` to derive a per-layer seed from it:
+    every dropout layer then draws an independent, reproducible mask stream
+    (layers built with the default ``seed=0`` would otherwise share masks).
+    """
+
+    def __init__(self, p: float, seed: int | None = None,
+                 rng: np.random.Generator | None = None):
         super().__init__()
         self.p = p
-        self._rng = np.random.default_rng(seed)
+        if rng is not None:
+            if seed is not None:
+                raise ValueError("pass either seed or rng, not both")
+            seed = int(rng.integers(0, 2 ** 31 - 1))
+        self._rng = np.random.default_rng(0 if seed is None else seed)
 
     def forward(self, x: Tensor) -> Tensor:
         return ag.dropout(x, self.p, training=self.training, rng=self._rng)

@@ -1,0 +1,273 @@
+"""Fast-path validation for the rewritten autograd hot path.
+
+The strided-im2col conv2d, slice-fast-path getitem, reduceat embedding
+scatter and the stash-free backward engine are checked here against
+*independent* references: a convolution composed purely from separately
+grad-checked primitives (pad/slice/matmul/concat), numpy ``np.add.at``
+scatters, and central-difference numerical gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn
+from repro.autograd import Tensor, check_gradients
+from repro.autograd.grad_check import compare_gradients
+
+
+def _t(shape, seed=0, scale=1.0):
+    """Float64 test tensor: central differences need the extra precision."""
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+def conv2d_reference(x, weight, bias, stride, padding, groups):
+    """Convolution built only from primitive ops (pad/slice/matmul/concat).
+
+    Slow but independently differentiable: every op it uses has its own
+    numerical grad check, so its analytic gradients are a trustworthy
+    reference for the fused strided-im2col implementation.
+    """
+    xp = ag.pad2d(x, padding)
+    n, c, hp, wp = xp.shape
+    oc, cg, kh, kw = weight.shape
+    ocg = oc // groups
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    outs = []
+    for g in range(groups):
+        xg = xp[:, g * cg:(g + 1) * cg]
+        wg = weight[g * ocg:(g + 1) * ocg]
+        acc = None
+        for i in range(kh):
+            for j in range(kw):
+                patch = xg[:, :, i:i + stride * oh:stride,
+                           j:j + stride * ow:stride]
+                wij = wg[:, :, i, j]                       # (ocg, cg)
+                term = ag.matmul(patch.transpose((0, 2, 3, 1)),
+                                 wij.transpose((1, 0)))    # (n, oh, ow, ocg)
+                acc = term if acc is None else acc + term
+        outs.append(acc.transpose((0, 3, 1, 2)))
+    out = outs[0] if groups == 1 else ag.concat(outs, axis=1)
+    if bias is not None:
+        out = out + bias.reshape(1, oc, 1, 1)
+    return out
+
+
+CONV_CONFIGS = [
+    # (x shape, w shape, stride, padding, groups, id)
+    ((2, 3, 6, 6), (4, 3, 3, 3), 1, 1, 1),
+    ((2, 4, 8, 8), (6, 4, 3, 3), 2, 1, 1),
+    ((1, 4, 7, 7), (4, 2, 3, 3), 1, 0, 2),
+    ((2, 4, 9, 9), (8, 2, 3, 3), 2, 2, 2),
+    ((2, 4, 6, 6), (4, 1, 3, 3), 1, 1, 4),      # depthwise
+    ((2, 4, 5, 5), (6, 4, 1, 1), 1, 0, 1),      # pointwise fast path
+    ((2, 4, 5, 5), (6, 4, 1, 1), 1, 1, 1),      # pointwise + padding
+    ((2, 6, 6, 6), (6, 3, 1, 1), 1, 0, 2),      # grouped pointwise
+    ((1, 3, 8, 8), (5, 3, 5, 5), 1, 2, 1),      # large kernel
+]
+
+
+class TestConvStridedFastPath:
+    @pytest.mark.parametrize("xs,ws,stride,padding,groups", CONV_CONFIGS)
+    def test_matches_primitive_reference(self, xs, ws, stride, padding, groups):
+        x, w = _t(xs, 1), _t(ws, 2, 0.3)
+        b = _t((ws[0],), 3)
+        compare_gradients(
+            lambda: ag.conv2d(x, w, b, stride=stride, padding=padding,
+                              groups=groups).sum(),
+            lambda: conv2d_reference(x, w, b, stride=stride, padding=padding,
+                                     groups=groups).sum(),
+            [x, w, b], atol=1e-9, rtol=1e-7)
+
+    @pytest.mark.parametrize("xs,ws,stride,padding,groups", [
+        ((2, 4, 8, 8), (6, 4, 3, 3), 2, 1, 1),
+        ((2, 4, 6, 6), (4, 1, 3, 3), 1, 1, 4),
+        ((2, 4, 5, 5), (6, 4, 1, 1), 1, 0, 1),
+    ])
+    def test_numerical_gradients(self, xs, ws, stride, padding, groups):
+        x, w = _t(xs, 4), _t(ws, 5, 0.3)
+        check_gradients(
+            lambda: ag.conv2d(x, w, stride=stride, padding=padding,
+                              groups=groups).sum(), [x, w])
+
+    def test_weighted_loss_gradients(self):
+        """Non-uniform output gradient (catches transposed-layout bugs)."""
+        x, w = _t((2, 3, 6, 6), 6), _t((4, 3, 3, 3), 7, 0.3)
+        rng = np.random.default_rng(8)
+        weights = Tensor(rng.standard_normal((2, 4, 6, 6)))
+        compare_gradients(
+            lambda: (ag.conv2d(x, w, stride=1, padding=1) * weights).sum(),
+            lambda: (conv2d_reference(x, w, None, 1, 1, 1) * weights).sum(),
+            [x, w], atol=1e-9, rtol=1e-7)
+
+
+class TestGetitemFastPath:
+    @pytest.mark.parametrize("index", [
+        slice(1, 4),
+        (slice(None), 2),
+        (slice(None, None, 2), slice(1, None)),
+        (1, slice(None)),
+        (Ellipsis, 0),
+        (slice(None), None, slice(2, None)),    # newaxis insert
+    ])
+    def test_slice_matches_numerical(self, index):
+        a = _t((6, 4), 11)
+        check_gradients(lambda: a[index].sum(), [a])
+
+    def test_slice_matches_fancy_equivalent(self):
+        """Basic-slice fast path == fancy-index scatter-add path."""
+        a = _t((8, 5), 12)
+        rows = np.arange(2, 7)                   # fancy: routes via np.add.at
+        compare_gradients(lambda: (a[2:7] * a[2:7]).sum(),
+                          lambda: (a[rows] * a[rows]).sum(),
+                          [a], atol=1e-12, rtol=1e-12)
+
+    def test_fancy_duplicates_still_accumulate(self):
+        a = _t((5, 3), 13)
+        idx = np.array([0, 2, 2, 4])
+        out = a[idx].sum()
+        out.backward()
+        expected = np.zeros_like(a.data)
+        np.add.at(expected, idx, np.ones((4, 3)))
+        np.testing.assert_allclose(a.grad, expected)
+
+
+class TestEmbeddingScatter:
+    def test_duplicate_indices_match_add_at(self):
+        w = _t((10, 4), 14)
+        idx = np.array([[1, 3, 3], [3, 0, 9]])
+        ag.embedding(w, idx).sum().backward()
+        expected = np.zeros_like(w.data)
+        np.add.at(expected, idx, np.ones(idx.shape + (4,)))
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_unique_indices_match_add_at(self):
+        w = _t((12, 3), 15)
+        idx = np.array([7, 2, 9, 0])
+        rng = np.random.default_rng(16)
+        weights = Tensor(rng.standard_normal((4, 3)))
+        (ag.embedding(w, idx) * weights).sum().backward()
+        expected = np.zeros_like(w.data)
+        np.add.at(expected, idx, weights.data)
+        np.testing.assert_allclose(w.grad, expected, atol=1e-12)
+
+
+class TestBackwardReentrancy:
+    """The stash removal makes backward state purely local — verify it."""
+
+    def test_backward_inside_backward(self):
+        """An inner backward running mid-pass must not corrupt the outer."""
+        a = _t((3,), 20)
+        b = _t((3,), 21)
+        outer = (a * 2.0).sum()
+
+        inner_loss = (b * 3.0).sum()
+        fired = []
+        original = outer._backward
+
+        def hijacked(grad):
+            # Simulate a callback (metric hook / distillation) that runs a
+            # full backward of an unrelated graph mid-traversal.
+            inner_loss.backward()
+            fired.append(True)
+            return original(grad)
+
+        outer._backward = hijacked
+        outer.backward()
+        assert fired
+        np.testing.assert_allclose(a.grad, 2.0 * np.ones(3))
+        np.testing.assert_allclose(b.grad, 3.0 * np.ones(3))
+
+    def test_repeated_backward_is_exact(self):
+        a = _t((4,), 22)
+        loss = (a * a).sum()
+        loss.backward()
+        first = a.grad.copy()
+        loss.backward()          # reuses the cached topological order
+        np.testing.assert_allclose(a.grad, 2.0 * first)
+
+    def test_shared_leaf_graphs_do_not_leak(self):
+        a = _t((3,), 23)
+        loss1 = (a * 2.0).sum()
+        loss2 = (a * 5.0).sum()
+        loss1.backward()
+        np.testing.assert_allclose(a.grad, 2.0 * np.ones(3))
+        loss2.backward()
+        np.testing.assert_allclose(a.grad, 7.0 * np.ones(3))
+
+    def test_leaf_grad_buffers_are_independent(self):
+        """Identity-op fan-out must never alias two leaves' grad buffers."""
+        a, b = _t((4,), 24), _t((4,), 25)
+        (a + b).sum().backward()
+        a.grad += 100.0
+        np.testing.assert_allclose(b.grad, np.ones(4))
+
+    def test_param_grad_not_aliased_to_user_array(self):
+        a = _t((3,), 26)
+        seed_grad = np.ones(3)
+        (a * 1.0).sum().backward()
+        before = a.grad.copy()
+        a.grad += 5.0
+        np.testing.assert_allclose(before, np.ones(3))
+        assert a.grad is not seed_grad
+
+
+class TestTmax:
+    def test_global_max_gradient(self):
+        a = _t((4, 5), 30)
+        check_gradients(lambda: a.max(), [a])
+
+    def test_global_max_value(self):
+        a = _t((3, 7), 31)
+        assert a.max().item() == pytest.approx(a.data.max())
+
+    def test_global_max_keepdims(self):
+        a = _t((2, 3), 32)
+        out = a.max(keepdims=True)
+        assert out.shape == (1, 1)
+        check_gradients(lambda: a.max(keepdims=True).sum(), [a])
+
+    def test_axis_max_still_works(self):
+        a = _t((5, 7), 33)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_ties_split_gradient(self):
+        a = Tensor(np.array([1.0, 3.0, 3.0, 0.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.5, 0.5, 0.0])
+
+    def test_unsupported_kwargs_raise(self):
+        a = _t((3, 3), 34)
+        with pytest.raises(TypeError, match="unsupported keyword"):
+            a.max(axis=1, initial=0.0)
+        with pytest.raises(TypeError, match="axis must be an int"):
+            a.max(axis=(0, 1))
+
+
+class TestDropoutDeterminism:
+    def test_training_requires_rng(self):
+        x = _t((4, 4), 40)
+        with pytest.raises(ValueError, match="Generator"):
+            ag.dropout(x, 0.5, training=True)
+
+    def test_layer_is_reproducible(self):
+        x = np.ones((64, 64), np.float32)
+        outs = []
+        for _ in range(2):
+            layer = nn.Dropout(0.5, seed=7)
+            outs.append(layer(Tensor(x)).data)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_rng_derived_layers_are_distinct(self):
+        x = np.ones((64, 64), np.float32)
+        rng = np.random.default_rng(3)
+        first = nn.Dropout(0.5, rng=rng)
+        second = nn.Dropout(0.5, rng=rng)
+        assert not np.array_equal(first(Tensor(x)).data,
+                                  second(Tensor(x)).data)
+
+    def test_seed_and_rng_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            nn.Dropout(0.5, seed=1, rng=np.random.default_rng(0))
