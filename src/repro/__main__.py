@@ -14,7 +14,7 @@ import importlib
 import sys
 
 _ARTIFACTS = ["table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
-              "fig6", "fig7", "fig8", "fig9", "ablations"]
+              "fig6", "fig7", "fig8", "fig9", "ablations", "async_compare"]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,6 +1,6 @@
 """The eight MHFL algorithms + homogeneous baseline (Table II)."""
 
-from .base import (ClientContext, RoundOutcome, MHFLAlgorithm,
+from .base import (ClientContext, ClientUpdate, RoundOutcome, MHFLAlgorithm,
                    WIDTH_LEVELS, DEPTH_LEVELS, assign_levels_uniformly)
 from .fedavg import FedAvgSmallest
 from .fjord import Fjord
@@ -15,7 +15,7 @@ from .registry import (ALGORITHMS, MHFL_ALGORITHMS, get_algorithm,
                        algorithms_by_level)
 
 __all__ = [
-    "ClientContext", "RoundOutcome", "MHFLAlgorithm",
+    "ClientContext", "ClientUpdate", "RoundOutcome", "MHFLAlgorithm",
     "WIDTH_LEVELS", "DEPTH_LEVELS", "assign_levels_uniformly",
     "FedAvgSmallest", "Fjord", "SHeteroFL", "FedRolex",
     "DepthFL", "InclusiveFL", "FeDepth", "FedProto", "ProtoModel", "FedET",

@@ -22,7 +22,7 @@ accounts paper-scale time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from ..models.slicing import (extract_substate, finalize_mean,
                               scatter_accumulate, width_index_maps,
                               zeros_like_state)
 
-__all__ = ["ClientContext", "RoundOutcome", "MHFLAlgorithm",
+__all__ = ["ClientContext", "ClientUpdate", "RoundOutcome", "MHFLAlgorithm",
            "WIDTH_LEVELS", "DEPTH_LEVELS", "assign_levels_uniformly"]
 
 #: The paper's four capacity proportions (Table II).
@@ -67,6 +67,34 @@ class RoundOutcome:
     slowest_client_s: float
     mean_train_loss: float
     extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClientUpdate:
+    """One client's finished local round, in transit to the server.
+
+    ``payload`` is algorithm-specific (sliced state dict + index maps for
+    parameter-averaging methods, prototypes for FedProto, public-set
+    predictions for Fed-ET) and is only interpreted by the same algorithm's
+    :meth:`MHFLAlgorithm.ingest`.  ``discount`` is 1.0 for synchronous
+    execution; asynchronous aggregation policies lower it for stale updates
+    before handing the buffer to ``ingest``.
+    """
+
+    client_id: int
+    #: global model version (round index) the client trained from.
+    version: int
+    train_loss: float
+    #: the client's full download + train + upload time, seconds.
+    round_time_s: float
+    #: aggregation weight (sample count for parameter averaging).
+    weight: float
+    payload: object
+    #: staleness discount applied by the aggregation policy (1.0 = fresh).
+    discount: float = 1.0
+    #: versions the global model advanced while this update was in flight
+    #: (stamped by the aggregation policy at aggregation time).
+    staleness: int = 0
 
 
 def assign_levels_uniformly(pool: ModelPool,
@@ -209,47 +237,92 @@ class MHFLAlgorithm:
         payload = ctx.entry.stats.param_bytes
         return payload, payload
 
-    def client_round_time_s(self, ctx: ClientContext) -> float:
+    def client_time_segments(self, ctx: ClientContext
+                             ) -> tuple[float, float, float]:
+        """(download_s, train_s, upload_s) — the event engine schedules the
+        typed download/train/upload events from these."""
         device = ctx.capability.as_device()
         train = self.cost_model.training_time_s(
             ctx.entry.stats, device, num_samples=ctx.num_samples,
             local_epochs=self.train_config.local_epochs)
         down, up = self.client_payload_bytes(ctx)
-        comm = down / ctx.capability.downlink_bps \
-            + up / ctx.capability.uplink_bps
-        return train + comm
+        return (down / ctx.capability.downlink_bps, train,
+                up / ctx.capability.uplink_bps)
+
+    def client_round_time_s(self, ctx: ClientContext) -> float:
+        down, train, up = self.client_time_segments(ctx)
+        return train + (down + up)
+
+    def fleet_round_time_quantile(self, quantile: float) -> float:
+        """Fleet quantile of per-client round times under *this* algorithm's
+        cost accounting (honours ``client_payload_bytes`` overrides — e.g.
+        FedProto uploads prototypes, not parameters).  The canonical way to
+        derive a binding round deadline for the event-driven runtime; see
+        :meth:`repro.hw.CostModel.fleet_round_time_quantile` for the
+        algorithm-free fleet-planning variant.
+        """
+        times = [self.client_round_time_s(ctx)
+                 for ctx in self.clients.values()]
+        return float(np.quantile(times, quantile))
 
     # ------------------------------------------------------------------
-    # The round
+    # The round, as per-client primitives
     # ------------------------------------------------------------------
-    def run_round(self, round_index: int, sampled_ids: Sequence[int],
-                  rng: np.random.Generator) -> RoundOutcome:
+    # ``run_client`` and ``ingest`` are the two halves every execution
+    # policy composes: the legacy synchronous loop calls them back-to-back
+    # through :meth:`run_round`, while the event-driven runtime runs clients
+    # at dispatch time and ingests whatever survived availability, dropout
+    # and deadline filtering — one code path for all eleven algorithms.
+
+    def run_client(self, client_id: int, version: int,
+                   rng: np.random.Generator) -> ClientUpdate:
+        """Train one client from the current global state (version
+        ``version``) and package its upload."""
+        ctx = self.clients[int(client_id)]
+        model, maps = self.build_client_model(ctx, version, rng)
+        loss = train_local(model, ctx.shard.x, ctx.shard.y,
+                           self.train_config, rng,
+                           loss_fn=self.local_loss_fn(ctx, model))
+        state = model.state_dict()
+        keep = self.upload_filter(model, ctx)
+        if keep is not None:
+            state = {k: v for k, v in state.items() if k in keep}
+            maps = {k: m for k, m in maps.items() if k in keep}
+        return ClientUpdate(
+            client_id=ctx.client_id, version=version, train_loss=loss,
+            round_time_s=self.client_round_time_s(ctx),
+            weight=float(ctx.num_samples), payload=(state, maps))
+
+    def ingest(self, updates: Iterable[ClientUpdate], round_index: int,
+               rng: np.random.Generator) -> RoundOutcome:
+        """Aggregate a batch of client updates into the global state.
+
+        ``updates`` may be any single-pass iterable — the synchronous round
+        streams a generator through so only one client's update is alive at
+        a time; the event-driven policies pass materialized buffers.
+        """
         sums = zeros_like_state(self.global_state)
         counts = zeros_like_state(self.global_state)
         slowest = 0.0
         losses = []
-        for client_id in sampled_ids:
-            ctx = self.clients[int(client_id)]
-            model, maps = self.build_client_model(ctx, round_index, rng)
-            loss = train_local(model, ctx.shard.x, ctx.shard.y,
-                               self.train_config, rng,
-                               loss_fn=self.local_loss_fn(ctx, model))
-            state = model.state_dict()
-            keep = self.upload_filter(model, ctx)
-            if keep is not None:
-                state = {k: v for k, v in state.items() if k in keep}
-                upload_maps = {k: m for k, m in maps.items() if k in keep}
-            else:
-                upload_maps = maps
-            scatter_accumulate(sums, counts, state, upload_maps,
-                               weight=float(ctx.num_samples))
-            slowest = max(slowest, self.client_round_time_s(ctx))
-            losses.append(loss)
+        for update in updates:
+            state, maps = update.payload
+            scatter_accumulate(sums, counts, state, maps,
+                               weight=update.weight * update.discount)
+            slowest = max(slowest, update.round_time_s)
+            losses.append(update.train_loss)
         old_state = self.global_state
         self.global_state = finalize_mean(sums, counts, self.global_state)
         self.post_aggregate(old_state, round_index)
-        return RoundOutcome(slowest_client_s=slowest,
-                            mean_train_loss=float(np.mean(losses)))
+        return RoundOutcome(
+            slowest_client_s=slowest,
+            mean_train_loss=float(np.mean(losses)) if losses else 0.0)
+
+    def run_round(self, round_index: int, sampled_ids: Sequence[int],
+                  rng: np.random.Generator) -> RoundOutcome:
+        updates = (self.run_client(client_id, round_index, rng)
+                   for client_id in sampled_ids)
+        return self.ingest(updates, round_index, rng)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -19,7 +19,7 @@ from .. import autograd as ag
 from ..fl.client import train_local
 from ..fl.evaluate import accuracy
 from ..models.base import SliceableModel
-from .base import ClientContext, MHFLAlgorithm, RoundOutcome
+from .base import ClientContext, ClientUpdate, MHFLAlgorithm, RoundOutcome
 from .fedproto import topology_variant_space
 
 __all__ = ["FedET"]
@@ -82,35 +82,35 @@ class FedET(MHFLAlgorithm):
 
         return loss
 
-    def run_round(self, round_index: int, sampled_ids, rng) -> RoundOutcome:
-        slowest = 0.0
-        losses = []
-        member_probs = []
-        member_weights = []
-        for client_id in sampled_ids:
-            ctx = self.clients[int(client_id)]
-            model = self.personal_model(ctx)
-            loss = train_local(model, ctx.shard.x, ctx.shard.y,
-                               self.train_config, rng,
-                               loss_fn=self._client_loss(model, rng))
-            losses.append(loss)
-            # Client predictions on the public transfer set.
-            model.eval()
-            with ag.no_grad():
-                probs = ag.softmax(model(self.x_public)).data
-            model.train()
-            member_probs.append(probs)
-            # Confidence weighting: more certain members count more.
-            member_weights.append(float(probs.max(axis=1).mean()))
-            slowest = max(slowest, self.client_round_time_s(ctx))
+    def run_client(self, client_id: int, version: int, rng) -> ClientUpdate:
+        ctx = self.clients[int(client_id)]
+        model = self.personal_model(ctx)
+        loss = train_local(model, ctx.shard.x, ctx.shard.y,
+                           self.train_config, rng,
+                           loss_fn=self._client_loss(model, rng))
+        # Client predictions on the public transfer set; confidence
+        # weighting makes more certain members count more.
+        model.eval()
+        with ag.no_grad():
+            probs = ag.softmax(model(self.x_public)).data
+        model.train()
+        return ClientUpdate(
+            client_id=ctx.client_id, version=version, train_loss=loss,
+            round_time_s=self.client_round_time_s(ctx),
+            weight=float(probs.max(axis=1).mean()), payload=probs)
 
-        weights = np.asarray(member_weights)
+    def ingest(self, updates, round_index: int, rng) -> RoundOutcome:
+        updates = list(updates)  # may arrive as a single-pass generator
+        if not updates:
+            return RoundOutcome(slowest_client_s=0.0, mean_train_loss=0.0)
+        weights = np.asarray([u.weight * u.discount for u in updates])
         weights = weights / weights.sum()
         self._consensus = np.einsum("k,knc->nc", weights,
-                                    np.stack(member_probs))
+                                    np.stack([u.payload for u in updates]))
         self._distill_server(rng)
-        return RoundOutcome(slowest_client_s=slowest,
-                            mean_train_loss=float(np.mean(losses)))
+        return RoundOutcome(
+            slowest_client_s=max(u.round_time_s for u in updates),
+            mean_train_loss=float(np.mean([u.train_loss for u in updates])))
 
     def _distill_server(self, rng: np.random.Generator) -> None:
         from .. import nn

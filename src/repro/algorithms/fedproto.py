@@ -19,7 +19,8 @@ from .. import autograd as ag
 from .. import nn
 from ..models.base import SliceableModel
 from ..models.zoo import MODEL_FAMILIES
-from .base import ClientContext, MHFLAlgorithm, RoundOutcome, WIDTH_LEVELS
+from .base import (ClientContext, ClientUpdate, MHFLAlgorithm, RoundOutcome,
+                   WIDTH_LEVELS)
 from ..fl.client import train_local
 from ..fl.evaluate import accuracy
 
@@ -117,34 +118,47 @@ class FedProto(MHFLAlgorithm):
 
         return loss
 
-    def run_round(self, round_index: int, sampled_ids, rng) -> RoundOutcome:
+    def run_client(self, client_id: int, version: int, rng) -> ClientUpdate:
+        ctx = self.clients[int(client_id)]
+        model = self.personal_model(ctx)
+        loss = train_local(model, ctx.shard.x, ctx.shard.y,
+                           self.train_config, rng,
+                           loss_fn=self._proto_loss(model))
+        # Local prototypes: per-class embedding sums + member counts.
+        with ag.no_grad():
+            model.eval()
+            emb = model.embed(ctx.shard.x).data
+            model.train()
+        proto_sums = np.zeros_like(self.global_protos)
+        proto_counts = np.zeros(self.dataset.num_classes)
+        for cls in np.unique(ctx.shard.y):
+            members = emb[ctx.shard.y == cls]
+            proto_sums[cls] = members.sum(axis=0)
+            proto_counts[cls] = len(members)
+        return ClientUpdate(
+            client_id=ctx.client_id, version=version, train_loss=loss,
+            round_time_s=self.client_round_time_s(ctx), weight=1.0,
+            payload=(proto_sums, proto_counts))
+
+    def ingest(self, updates, round_index: int, rng) -> RoundOutcome:
         proto_sums = np.zeros_like(self.global_protos)
         proto_counts = np.zeros(self.dataset.num_classes)
         slowest = 0.0
         losses = []
-        for client_id in sampled_ids:
-            ctx = self.clients[int(client_id)]
-            model = self.personal_model(ctx)
-            loss = train_local(model, ctx.shard.x, ctx.shard.y,
-                               self.train_config, rng,
-                               loss_fn=self._proto_loss(model))
-            losses.append(loss)
-            # Local prototypes: mean embedding per present class.
-            with ag.no_grad():
-                model.eval()
-                emb = model.embed(ctx.shard.x).data
-                model.train()
-            for cls in np.unique(ctx.shard.y):
-                members = emb[ctx.shard.y == cls]
-                proto_sums[cls] += members.sum(axis=0)
-                proto_counts[cls] += len(members)
-            slowest = max(slowest, self.client_round_time_s(ctx))
+        for update in updates:
+            sums, counts = update.payload
+            scale = update.weight * update.discount
+            proto_sums += sums * scale
+            proto_counts += counts * scale
+            slowest = max(slowest, update.round_time_s)
+            losses.append(update.train_loss)
         updated = proto_counts > 0
         self.global_protos[updated] = (
             proto_sums[updated] / proto_counts[updated, None]).astype(np.float32)
         self._proto_valid |= updated
-        return RoundOutcome(slowest_client_s=slowest,
-                            mean_train_loss=float(np.mean(losses)))
+        return RoundOutcome(
+            slowest_client_s=slowest,
+            mean_train_loss=float(np.mean(losses)) if losses else 0.0)
 
     # ------------------------------------------------------------------
     def client_payload_bytes(self, ctx: ClientContext) -> tuple[float, float]:

@@ -1,8 +1,9 @@
-"""Practical device constraints: computation / communication / memory cases."""
+"""Practical device constraints: computation / communication / memory cases,
+plus fleet availability scenarios for the event-driven runtime."""
 
-from .spec import ConstraintSpec, CONSTRAINT_KINDS
+from .spec import ConstraintSpec, CONSTRAINT_KINDS, AVAILABILITY_KINDS
 from .assignment import ConstraintAssigner
 from .scenario import BuiltScenario, build_scenario
 
-__all__ = ["ConstraintSpec", "CONSTRAINT_KINDS", "ConstraintAssigner",
-           "BuiltScenario", "build_scenario"]
+__all__ = ["ConstraintSpec", "CONSTRAINT_KINDS", "AVAILABILITY_KINDS",
+           "ConstraintAssigner", "BuiltScenario", "build_scenario"]

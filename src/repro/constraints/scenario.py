@@ -34,6 +34,9 @@ class BuiltScenario:
     assigner: ConstraintAssigner
     #: per-client assigned pool-entry keys (for inspection / reporting).
     assignment_keys: list[str]
+    #: the spec this scenario was built from (carries the availability
+    #: scenario the event-driven runtime should honour).
+    spec: ConstraintSpec | None = None
 
     def level_distribution(self) -> dict[str, int]:
         """How many clients run each capacity level."""
@@ -41,6 +44,12 @@ class BuiltScenario:
         for key in self.assignment_keys:
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def execution_config(self, policy: str = "sync", **overrides):
+        """Execution block for this scenario's availability case (see
+        :meth:`repro.constraints.spec.ConstraintSpec.execution_config`)."""
+        spec = self.spec if self.spec is not None else ConstraintSpec()
+        return spec.execution_config(policy=policy, **overrides)
 
 
 def build_scenario(algorithm_name: str, base_model: SliceableModel,
@@ -81,4 +90,4 @@ def build_scenario(algorithm_name: str, base_model: SliceableModel,
                     train_config=train_config, cost_model=cost_model,
                     eval_max_samples=eval_max_samples, pool=pool)
     return BuiltScenario(algorithm=algorithm, assigner=assigner,
-                         assignment_keys=[e.key for e in entries])
+                         assignment_keys=[e.key for e in entries], spec=spec)

@@ -6,15 +6,25 @@ bytes — the natural choice at paper scale) or *relatively*: as a quantile of
 the fleet's cost for the largest pool entry, which keeps the constraint
 binding at any simulation scale (our tiny models would otherwise satisfy
 every absolute edge budget trivially).
+
+Beyond the paper's three *resource* cases, a spec also names the fleet's
+**availability scenario** — always-on, diurnal day/night cycles, Markov
+on/off churn, or random mid-round dropout (see
+:mod:`repro.fl.availability`).  Resource constraints shape *which model* a
+client can train; availability shapes *whether it is there to train at
+all*, and the event-driven runtime consumes both.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ConstraintSpec", "CONSTRAINT_KINDS"]
+__all__ = ["ConstraintSpec", "CONSTRAINT_KINDS", "AVAILABILITY_KINDS"]
 
 CONSTRAINT_KINDS = ("computation", "communication", "memory")
+
+#: Availability scenarios (registry names in :mod:`repro.fl.availability`).
+AVAILABILITY_KINDS = ("always_on", "diurnal", "markov", "dropout")
 
 #: Memory budget per fleet tier, as a fraction of the pool's largest entry's
 #: training memory.  Mirrors the paper's tiers: 16 GB devices train the
@@ -39,20 +49,49 @@ class ConstraintSpec:
     memory_batch_size: int = 8
     memory_headroom: float = 0.8
     local_epochs: int = 1
+    #: fleet availability scenario (see :data:`AVAILABILITY_KINDS`).
+    availability: str = "always_on"
+    availability_kwargs: dict = field(default_factory=dict)
 
     def __post_init__(self):
         unknown = set(self.constraints) - set(CONSTRAINT_KINDS)
         if unknown:
             raise ValueError(f"unknown constraints {sorted(unknown)}; "
                              f"known: {CONSTRAINT_KINDS}")
+        if self.availability not in AVAILABILITY_KINDS:
+            raise ValueError(
+                f"unknown availability scenario {self.availability!r}; "
+                f"known: {AVAILABILITY_KINDS}")
 
     @property
     def label(self) -> str:
-        """Short display label, e.g. ``"mem+comm"`` (Figure 7's x-axis)."""
+        """Short display label, e.g. ``"mem+comm"`` (Figure 7's x-axis).
+
+        Availability scenarios other than always-on are appended, e.g.
+        ``"comp/markov"``.
+        """
         short = {"computation": "comp", "communication": "comm",
                  "memory": "mem"}
-        return "+".join(short[c] for c in self.constraints) or "none"
+        label = "+".join(short[c] for c in self.constraints) or "none"
+        if self.availability != "always_on":
+            label = f"{label}/{self.availability}"
+        return label
 
     def with_constraints(self, *constraints: str) -> "ConstraintSpec":
         from dataclasses import replace
         return replace(self, constraints=tuple(constraints))
+
+    def with_availability(self, availability: str,
+                          **availability_kwargs) -> "ConstraintSpec":
+        from dataclasses import replace
+        return replace(self, availability=availability,
+                       availability_kwargs=availability_kwargs)
+
+    def execution_config(self, policy: str = "sync", **overrides):
+        """Build an :class:`~repro.fl.aggregation.ExecutionConfig` running
+        this spec's availability scenario under the given policy."""
+        from ..fl.aggregation import ExecutionConfig
+        kwargs = dict(policy=policy, availability=self.availability,
+                      availability_kwargs=dict(self.availability_kwargs))
+        kwargs.update(overrides)
+        return ExecutionConfig(**kwargs)

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from ..algorithms import get_algorithm
 from ..constraints import BuiltScenario, ConstraintSpec, build_scenario
 from ..data.registry import load_dataset
+from ..fl.aggregation import ExecutionConfig
 from ..fl.client import LocalTrainConfig
 from ..fl.history import History
 from ..fl.simulation import SimulationConfig, run_simulation
@@ -42,8 +43,15 @@ def _train_config(scale: ExperimentScale) -> LocalTrainConfig:
 def run_one(algorithm: str, dataset_name: str, spec: ConstraintSpec,
             scale: str | ExperimentScale = "demo", seed: int = 0,
             partition_scheme: str = "auto", alpha: float = 0.5,
-            num_clients: int | None = None) -> RunResult:
-    """Run one algorithm on one dataset under one constraint case."""
+            num_clients: int | None = None,
+            execution: ExecutionConfig | None = None) -> RunResult:
+    """Run one algorithm on one dataset under one constraint case.
+
+    ``execution`` selects the event-driven runtime (aggregation policy +
+    availability model); when omitted, a spec with a non-trivial
+    availability scenario still routes through the event engine so the
+    scenario is honoured, and an always-on spec runs the legacy loop.
+    """
     scale = get_scale(scale) if isinstance(scale, str) else scale
     dataset = load_dataset(dataset_name, seed=seed,
                            **scale.kwargs_for(dataset_name))
@@ -57,9 +65,12 @@ def run_one(algorithm: str, dataset_name: str, spec: ConstraintSpec,
         train_config=_train_config(scale),
         partition_scheme=partition_scheme, alpha=alpha, seed=seed,
         eval_max_samples=scale.eval_max_samples)
+    if execution is None and spec.availability != "always_on":
+        execution = spec.execution_config()
     sim = SimulationConfig(num_rounds=scale.num_rounds,
                            sample_ratio=scale.sample_ratio,
-                           eval_every=scale.eval_every, seed=seed)
+                           eval_every=scale.eval_every, seed=seed,
+                           execution=execution)
     history = run_simulation(scenario.algorithm, sim)
     return RunResult(history=history, scenario=scenario)
 

@@ -1,9 +1,23 @@
-"""Federated simulation engine: local training, round loop, history."""
+"""Federated simulation engine: local training, round loops, history.
+
+Includes the event-driven asynchronous runtime: a discrete-event scheduler
+(:mod:`repro.fl.events`), client availability models
+(:mod:`repro.fl.availability`) and pluggable aggregation policies
+(:mod:`repro.fl.aggregation`).
+"""
 
 from .client import LocalTrainConfig, train_local, make_optimizer
 from .evaluate import accuracy, predict
 from .history import History, RoundRecord
-from .simulation import SimulationConfig, run_simulation, sample_clients
+from .events import Event, EventQueue
+from .availability import (AvailabilityModel, AlwaysOn, DiurnalSine,
+                           MarkovChurn, RandomDropout, AVAILABILITY_MODELS,
+                           make_availability)
+from .aggregation import (ExecutionConfig, AggregationPolicy,
+                          SynchronousPolicy, BufferedPolicy,
+                          AGGREGATION_POLICIES, make_policy)
+from .simulation import (SimulationConfig, run_simulation,
+                         run_event_simulation, sample_clients)
 from .serialization import (history_to_dict, history_from_dict, save_history,
                             load_history)
 
@@ -11,6 +25,12 @@ __all__ = [
     "LocalTrainConfig", "train_local", "make_optimizer",
     "accuracy", "predict",
     "History", "RoundRecord",
-    "SimulationConfig", "run_simulation", "sample_clients",
+    "Event", "EventQueue",
+    "AvailabilityModel", "AlwaysOn", "DiurnalSine", "MarkovChurn",
+    "RandomDropout", "AVAILABILITY_MODELS", "make_availability",
+    "ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
+    "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
+    "SimulationConfig", "run_simulation", "run_event_simulation",
+    "sample_clients",
     "history_to_dict", "history_from_dict", "save_history", "load_history",
 ]

@@ -1,0 +1,445 @@
+"""Pluggable server aggregation policies for the event-driven runtime.
+
+Two policies cover the design space the systems literature converges on for
+constrained fleets (Pfeiffer et al.'s survey; FedBuff, Nguyen et al.
+AISTATS'22):
+
+* :class:`SynchronousPolicy` — round-based aggregation with an optional
+  wall-clock **deadline** (late uploads are dropped) and **over-selection**
+  (dispatch extra clients so a round survives dropouts/stragglers).  With no
+  deadline, no over-selection and an always-on fleet it reproduces the
+  legacy ``run_simulation`` loop event-for-event.
+* :class:`BufferedPolicy` — FedBuff-style semi-asynchronous aggregation:
+  the server keeps ``max_concurrency`` clients training at all times and
+  aggregates whenever ``buffer_size`` updates have arrived, discounting each
+  update by ``(1 + staleness) ** -staleness_exponent`` where staleness is
+  the number of server versions that elapsed while it was in flight.
+
+Both drive the same :class:`~repro.fl.events.EventQueue` and the same
+per-client algorithm primitives (``run_client`` / ``ingest``), so every
+algorithm in the registry works under every policy unchanged.  Client
+training executes eagerly at dispatch time — the global state a client
+downloads is the server state at its dispatch timestamp, which is exactly
+what staleness means — while the queue orders arrivals, drops and
+aggregations on the simulated clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .availability import AvailabilityModel, make_availability
+from .events import (CLIENT_DROPPED, DOWNLOAD_START, EVAL_TICK,
+                     SERVER_AGGREGATE, TRAIN_COMPLETE, UPLOAD_COMPLETE,
+                     Event, EventQueue)
+from .history import History, RoundRecord
+
+__all__ = ["ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
+           "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
+           "sample_count"]
+
+
+def sample_count(num_clients: int, sample_ratio: float) -> int:
+    """Participants per round — the single formula behind both
+    :func:`repro.fl.simulation.sample_clients` and the policies' sampling
+    (the bit-exact legacy-equivalence contract depends on them agreeing)."""
+    return min(max(1, int(round(num_clients * sample_ratio))), num_clients)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """The execution block of a simulation: how rounds actually run."""
+
+    policy: str = "sync"                 # "sync" | "buffered"
+    #: availability model name (registry in :mod:`repro.fl.availability`).
+    availability: str = "always_on"
+    availability_kwargs: dict = field(default_factory=dict)
+    #: sync: wall-clock budget per round; updates arriving later are dropped
+    #: (None = wait for the straggler, the legacy behaviour).
+    deadline_s: float | None = None
+    #: sync: dispatch ceil(target * (1 + over_select)) clients to hedge
+    #: against dropouts and stragglers.
+    over_select: float = 0.0
+    #: buffered: aggregate once this many updates arrived.
+    buffer_size: int = 4
+    #: buffered: clients kept training concurrently (None = the sync
+    #: policy's per-round sample size).
+    max_concurrency: int | None = None
+    #: buffered: staleness discount exponent alpha in (1+s)^-alpha.
+    staleness_exponent: float = 0.5
+    #: seed for availability/dropout traces (None = derived from sim seed).
+    availability_seed: int | None = None
+    #: attach per-event timelines to each RoundRecord.
+    record_events: bool = True
+
+    def __post_init__(self):
+        if self.policy not in AGGREGATION_POLICIES:
+            raise ValueError(f"unknown execution policy {self.policy!r}; "
+                             f"known: {sorted(AGGREGATION_POLICIES)}")
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        if self.over_select < 0:
+            raise ValueError("over_select must be >= 0")
+
+    def build_availability(self, num_clients: int,
+                           sim_seed: int) -> AvailabilityModel:
+        seed = (self.availability_seed if self.availability_seed is not None
+                else sim_seed + 7919)
+        return make_availability(self.availability, num_clients, seed=seed,
+                                 **self.availability_kwargs)
+
+
+class AggregationPolicy:
+    """Base: owns the queue/clock/history plumbing both policies share."""
+
+    name = "base"
+
+    def __init__(self, sim_config, execution: ExecutionConfig,
+                 availability: AvailabilityModel):
+        self.sim_config = sim_config
+        self.execution = execution
+        self.availability = availability
+        self.queue = EventQueue()
+        self.timeline: list[Event] = []
+        #: per-client count of accepted dispatches so far.
+        self._participation: dict[int, int] = {}
+
+    # -- shared plumbing ------------------------------------------------
+    def emit(self, event: Event) -> Event:
+        if self.execution.record_events:
+            self.timeline.append(event)
+        return event
+
+    def take_timeline(self) -> list[dict]:
+        entries = [event.timeline_entry() for event in self.timeline]
+        self.timeline = []
+        return entries
+
+    def participation_index(self, client_id: int) -> int:
+        """The client's k-th dispatch, counted per client — the dropout
+        key, so a client's k-th participation draws the same mid-round
+        dropout decision under every aggregation policy."""
+        k = self._participation.get(client_id, 0)
+        self._participation[client_id] = k + 1
+        return k
+
+    def sample_size(self, num_clients: int) -> int:
+        return sample_count(num_clients, self.sim_config.sample_ratio)
+
+    def is_eval_round(self, round_index: int) -> bool:
+        return (round_index % self.sim_config.eval_every == 0
+                or round_index == self.sim_config.num_rounds - 1)
+
+    def should_stop(self, accuracy: float | None) -> bool:
+        target = self.sim_config.stop_at_accuracy
+        return target is not None and accuracy is not None \
+            and accuracy >= target
+
+    def run(self, algorithm) -> History:
+        raise NotImplementedError
+
+
+class SynchronousPolicy(AggregationPolicy):
+    """Round-based aggregation with deadline and over-selection."""
+
+    name = "sync"
+
+    def run(self, algorithm) -> History:
+        config, execution = self.sim_config, self.execution
+        rng = np.random.default_rng(config.seed)
+        history = History(algorithm=algorithm.name,
+                          dataset=algorithm.dataset_name)
+        all_ids = sorted(algorithm.clients)
+        sim_time = 0.0
+
+        for round_index in range(config.num_rounds):
+            online = [cid for cid in all_ids
+                      if self.availability.is_online(cid, sim_time)]
+            while not online:
+                # Idle until somebody comes back (diurnal night, churn gap).
+                comeback = min(self.availability.next_online(cid, sim_time)
+                               for cid in all_ids)
+                if not math.isfinite(comeback) or comeback <= sim_time:
+                    break
+                sim_time = comeback
+                online = [cid for cid in all_ids
+                          if self.availability.is_online(cid, sim_time)]
+            if not online:
+                break
+
+            sampled = self._sample(online, len(all_ids), rng)
+            received, duration, drops = self._dispatch_round(
+                algorithm, sampled, round_index, sim_time, rng)
+
+            outcome = (algorithm.ingest(received, round_index, rng)
+                       if received else None)
+            mean_loss = outcome.mean_train_loss if outcome else 0.0
+            round_time = duration + config.server_overhead_s
+            sim_time = sim_time + round_time
+            self.emit(Event(sim_time, SERVER_AGGREGATE,
+                            info={"round": round_index,
+                                  "received": len(received)}))
+
+            acc = None
+            if self.is_eval_round(round_index):
+                acc = algorithm.evaluate_global()
+                self.emit(Event(sim_time, EVAL_TICK,
+                                info={"round": round_index, "accuracy": acc}))
+            extras = dict(outcome.extras) if outcome else {}
+            extras.update({"dispatched": len(sampled),
+                           "received": len(received)})
+            extras.update({f"dropped_{k}": v for k, v in drops.items() if v})
+            history.append(RoundRecord(
+                round_index=round_index, sim_time_s=sim_time,
+                round_time_s=round_time, train_loss=mean_loss,
+                global_accuracy=acc, extras=extras,
+                events=self.take_timeline()))
+            if self.should_stop(acc):
+                break
+
+        history.final_device_accuracies = algorithm.per_device_accuracies()
+        return history
+
+    # -- helpers --------------------------------------------------------
+    def _sample(self, online: list[int], num_clients: int,
+                rng: np.random.Generator) -> np.ndarray:
+        from .simulation import sample_clients  # circular at module load
+        target = self.sample_size(num_clients)
+        extra = int(math.ceil(target * self.execution.over_select))
+        if extra == 0 and len(online) == num_clients:
+            # Bit-for-bit the legacy sampling stream (equivalence contract).
+            return sample_clients(num_clients, self.sim_config.sample_ratio,
+                                  rng)
+        count = min(target + extra, len(online))
+        return rng.choice(np.asarray(online), size=count, replace=False)
+
+    def _dispatch_round(self, algorithm, sampled, round_index: int,
+                        start_s: float, rng: np.random.Generator):
+        """Train the round's clients and play their events through the
+        queue; returns (received updates, round duration before server
+        overhead, drop counters)."""
+        execution = self.execution
+        deadline = (execution.deadline_s if execution.deadline_s is not None
+                    else math.inf)
+        #: updates kept in dispatch order — a synchronous server treats the
+        #: round's batch as a set, and dispatch order is the legacy loop's
+        #: accumulation order (the equivalence contract is bit-exact).
+        received: list = []
+        drops = {"dropout": 0, "churn": 0, "deadline": 0}
+        duration = 0.0
+        dispatch_order = {int(cid): i for i, cid in enumerate(sampled)}
+
+        for client_id in sampled:
+            cid = int(client_id)
+            ctx = algorithm.clients[cid]
+            down, train, up = algorithm.client_time_segments(ctx)
+            total = algorithm.client_round_time_s(ctx)
+            self.queue.push(Event(start_s, DOWNLOAD_START, cid,
+                                  info={"round": round_index}))
+            if self.availability.drops_round(cid,
+                                             self.participation_index(cid)):
+                # Device killed the job after training, before upload.
+                self.queue.push(Event(start_s + down + train, CLIENT_DROPPED,
+                                      cid, info={"reason": "dropout"}))
+                continue
+            online_until = self.availability.online_until(cid, start_s)
+            if online_until < start_s + total:
+                self.queue.push(Event(min(online_until, start_s + total),
+                                      CLIENT_DROPPED, cid,
+                                      info={"reason": "churn"}))
+                continue
+            if total > deadline:
+                # Provably late: the arrival will be discarded, so skip the
+                # (expensive) local training and schedule the late upload.
+                self.queue.push(Event(start_s + total, UPLOAD_COMPLETE, cid,
+                                      info={"late": True}))
+                continue
+            update = algorithm.run_client(cid, round_index, rng)
+            self.queue.push(Event(start_s + down + train, TRAIN_COMPLETE,
+                                  cid))
+            self.queue.push(Event(start_s + total, UPLOAD_COMPLETE, cid,
+                                  info={"update": update}))
+
+        while self.queue:
+            event = self.emit(self.queue.pop())
+            offset = event.time_s - start_s
+            if event.type == CLIENT_DROPPED:
+                drops[event.info["reason"]] += 1
+                duration = max(duration, min(offset, deadline))
+            elif event.type == UPLOAD_COMPLETE:
+                update = event.info.pop("update", None)
+                if update is None or update.round_time_s > deadline:
+                    drops["deadline"] += 1
+                    event.info["late"] = True
+                    duration = max(duration, deadline)
+                else:
+                    received.append(update)
+                    duration = max(duration, update.round_time_s)
+        received.sort(key=lambda u: dispatch_order[u.client_id])
+        return received, duration, drops
+
+
+class BufferedPolicy(AggregationPolicy):
+    """FedBuff-style buffered semi-asynchronous aggregation."""
+
+    name = "buffered"
+
+    def run(self, algorithm) -> History:
+        config, execution = self.sim_config, self.execution
+        rng = np.random.default_rng(config.seed)
+        history = History(algorithm=algorithm.name,
+                          dataset=algorithm.dataset_name)
+        self._all_ids = sorted(algorithm.clients)
+        self._in_flight: set[int] = set()
+        self._dispatches = 0
+        self._retry_pending = False
+        self._concurrency = (execution.max_concurrency
+                             or self.sample_size(len(self._all_ids)))
+        #: hard cap on dispatches — keeps pathological fleets (e.g. dropout
+        #: probability 1.0) from spinning the dispatch->drop loop forever.
+        self._dispatch_budget = max(
+            1000, 64 * config.num_rounds * execution.buffer_size)
+        version = 0
+        last_agg_time = 0.0
+        buffer: list = []
+        drops = {"dropout": 0, "churn": 0}
+
+        self._refill(algorithm, 0.0, version, rng)
+
+        while self.queue and version < config.num_rounds:
+            event = self.emit(self.queue.pop())
+            now = event.time_s
+            if event.type == CLIENT_DROPPED:
+                self._in_flight.discard(event.client_id)
+                drops[event.info["reason"]] += 1
+                self._refill(algorithm, now, version, rng)
+                continue
+            if event.type == DOWNLOAD_START and event.client_id is None:
+                # Deferred dispatch: the fleet was fully offline/busy.
+                self._retry_pending = False
+                self._refill(algorithm, now, version, rng)
+                continue
+            if event.type != UPLOAD_COMPLETE:
+                continue
+
+            self._in_flight.discard(event.client_id)
+            update = event.info.pop("update")
+            update.staleness = version - update.version
+            update.discount = float(
+                (1.0 + update.staleness) ** -execution.staleness_exponent)
+            event.info["staleness"] = update.staleness
+            event.info["discount"] = update.discount
+            buffer.append(update)
+            self._refill(algorithm, now, version, rng)
+            if len(buffer) < execution.buffer_size:
+                continue
+
+            # Buffer full: aggregate, advance the server version.
+            outcome = algorithm.ingest(buffer, version, rng)
+            agg_time = now + config.server_overhead_s
+            self.emit(Event(agg_time, SERVER_AGGREGATE,
+                            info={"round": version, "received": len(buffer)}))
+            acc = None
+            if self.is_eval_round(version):
+                acc = algorithm.evaluate_global()
+                self.emit(Event(agg_time, EVAL_TICK,
+                                info={"round": version, "accuracy": acc}))
+            staleness = [u.staleness for u in buffer]
+            extras = {
+                "received": len(buffer),
+                "stale_updates": int(sum(s > 0 for s in staleness)),
+                "mean_staleness": float(np.mean(staleness)),
+                "max_staleness": int(max(staleness)),
+                "mean_discount": float(np.mean([u.discount for u in buffer])),
+            }
+            extras.update({f"dropped_{k}": v for k, v in drops.items() if v})
+            drops = {"dropout": 0, "churn": 0}
+            history.append(RoundRecord(
+                round_index=version, sim_time_s=agg_time,
+                round_time_s=agg_time - last_agg_time,
+                train_loss=outcome.mean_train_loss, global_accuracy=acc,
+                extras=extras, events=self.take_timeline()))
+            last_agg_time = agg_time
+            buffer = []
+            version += 1
+            if self.should_stop(acc):
+                break
+
+        # Drops accrued after the last aggregation would otherwise vanish;
+        # fold them into the final record so dropped_counts() stays honest.
+        if history.records:
+            tail = history.records[-1].extras
+            for reason, count in drops.items():
+                if count:
+                    key = f"dropped_{reason}"
+                    tail[key] = tail.get(key, 0) + count
+        history.final_device_accuracies = algorithm.per_device_accuracies()
+        return history
+
+    # -- helpers --------------------------------------------------------
+    def _refill(self, algorithm, now: float, version: int,
+                rng: np.random.Generator) -> None:
+        """Top the in-flight pool back up to the concurrency target."""
+        while len(self._in_flight) < self._concurrency:
+            if not self._dispatch(algorithm, now, version, rng):
+                break
+
+    def _dispatch(self, algorithm, now: float, version: int,
+                  rng: np.random.Generator) -> bool:
+        """Hand the next available client a job at time ``now``; returns
+        False when no idle client is online (a deferred retry is queued)."""
+        if self._dispatches >= self._dispatch_budget:
+            return False
+        idle = [cid for cid in self._all_ids if cid not in self._in_flight]
+        candidates = [cid for cid in idle
+                      if self.availability.is_online(cid, now)]
+        if not candidates:
+            if idle and not self._retry_pending:
+                comeback = min(self.availability.next_online(cid, now)
+                               for cid in idle)
+                if math.isfinite(comeback):
+                    self._retry_pending = True
+                    self.queue.push(Event(max(comeback, now), DOWNLOAD_START,
+                                          None, info={"deferred": True}))
+            return False
+
+        cid = int(rng.choice(np.asarray(candidates)))
+        self._in_flight.add(cid)
+        self._dispatches += 1
+        ctx = algorithm.clients[cid]
+        down, train, up = algorithm.client_time_segments(ctx)
+        total = algorithm.client_round_time_s(ctx)
+        self.queue.push(Event(now, DOWNLOAD_START, cid,
+                              info={"version": version}))
+        if self.availability.drops_round(cid,
+                                         self.participation_index(cid)):
+            self.queue.push(Event(now + down + train, CLIENT_DROPPED, cid,
+                                  info={"reason": "dropout"}))
+            return True
+        online_until = self.availability.online_until(cid, now)
+        if online_until < now + total:
+            self.queue.push(Event(min(online_until, now + total),
+                                  CLIENT_DROPPED, cid,
+                                  info={"reason": "churn"}))
+            return True
+        update = algorithm.run_client(cid, version, rng)
+        self.queue.push(Event(now + down + train, TRAIN_COMPLETE, cid))
+        self.queue.push(Event(now + total, UPLOAD_COMPLETE, cid,
+                              info={"update": update}))
+        return True
+
+
+AGGREGATION_POLICIES: dict[str, type[AggregationPolicy]] = {
+    SynchronousPolicy.name: SynchronousPolicy,
+    BufferedPolicy.name: BufferedPolicy,
+}
+
+
+def make_policy(sim_config, execution: ExecutionConfig,
+                availability: AvailabilityModel) -> AggregationPolicy:
+    """Instantiate the execution block's aggregation policy."""
+    cls = AGGREGATION_POLICIES[execution.policy]
+    return cls(sim_config, execution, availability)

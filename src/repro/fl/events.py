@@ -1,0 +1,95 @@
+"""Discrete-event scheduler for the asynchronous FL runtime.
+
+A tiny priority-queue event engine: aggregation policies push typed events
+(client download start, train complete, upload complete, client dropped,
+server aggregate, eval tick) at future simulated timestamps and pop them in
+time order.  Ties break on insertion order, so runs are fully deterministic
+under a fixed seed.
+
+The engine is deliberately *passive*: it orders time, nothing else.  What an
+event means — dispatch another client, fill an aggregation buffer, close a
+round — is decided by the :mod:`repro.fl.aggregation` policies, and the
+actual numeric client work runs eagerly at dispatch time (the global state a
+client downloads is the state at its dispatch timestamp, which is exactly
+the staleness semantics buffered aggregation needs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Event", "DOWNLOAD_START", "TRAIN_COMPLETE", "UPLOAD_COMPLETE",
+    "CLIENT_DROPPED", "SERVER_AGGREGATE", "EVAL_TICK", "EVENT_TYPES",
+    "EventQueue",
+]
+
+#: Typed event kinds (strings so timelines serialise to JSON untouched).
+DOWNLOAD_START = "download_start"
+TRAIN_COMPLETE = "train_complete"
+UPLOAD_COMPLETE = "upload_complete"
+CLIENT_DROPPED = "client_dropped"
+SERVER_AGGREGATE = "server_aggregate"
+EVAL_TICK = "eval_tick"
+
+EVENT_TYPES = (DOWNLOAD_START, TRAIN_COMPLETE, UPLOAD_COMPLETE,
+               CLIENT_DROPPED, SERVER_AGGREGATE, EVAL_TICK)
+
+
+@dataclass
+class Event:
+    """One scheduled occurrence on the simulated clock."""
+
+    time_s: float
+    type: str
+    #: client the event concerns (None for server-side events).
+    client_id: int | None = None
+    #: free-form annotations (reason codes, staleness, carried update).
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.type not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {self.type!r}; "
+                             f"known: {EVENT_TYPES}")
+
+    def timeline_entry(self) -> dict:
+        """JSON-safe record for :attr:`RoundRecord.events` timelines
+        (drops non-serialisable info values such as in-flight updates)."""
+        entry: dict[str, Any] = {"t": round(float(self.time_s), 6),
+                                 "type": self.type}
+        if self.client_id is not None:
+            entry["client"] = int(self.client_id)
+        for key, value in self.info.items():
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                entry[key] = value
+        return entry
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> Event:
+        heapq.heappush(self._heap, (event.time_s, next(self._counter), event))
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None when the queue is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -22,7 +22,13 @@ class RoundRecord:
     train_loss: float
     #: global-test accuracy (None on rounds without evaluation).
     global_accuracy: float | None = None
+    #: dropped/stale-update counters and other per-round annotations
+    #: (e.g. ``dispatched``/``received``/``dropped_deadline`` from the
+    #: event-driven runtime).
     extras: dict = field(default_factory=dict)
+    #: per-event timeline of the round (JSON-safe dicts with at least
+    #: ``t`` and ``type``), recorded by the event-driven runtime.
+    events: list = field(default_factory=list)
 
 
 @dataclass
@@ -54,7 +60,10 @@ class History:
 
     @property
     def best_accuracy(self) -> float:
-        return max(r.global_accuracy for r in self.evaluated)
+        evaluated = self.evaluated
+        if not evaluated:
+            raise ValueError("run has no evaluated rounds")
+        return max(r.global_accuracy for r in evaluated)
 
     @property
     def total_sim_time_s(self) -> float:
@@ -83,3 +92,42 @@ class History:
         if not self.final_device_accuracies:
             raise ValueError("no per-device accuracies recorded")
         return float(np.var(self.final_device_accuracies))
+
+    def dropped_counts(self) -> dict[str, int]:
+        """Total dropped updates over the run, keyed by reason.
+
+        Sums the ``dropped_*`` extras the event-driven runtime records
+        (``dropout``, ``churn``, ``deadline``); empty for legacy runs.
+        """
+        totals: dict[str, int] = {}
+        for record in self.records:
+            for key, value in record.extras.items():
+                if key.startswith("dropped_"):
+                    reason = key[len("dropped_"):]
+                    totals[reason] = totals.get(reason, 0) + int(value)
+        return totals
+
+    def stale_update_count(self) -> int:
+        """Updates aggregated with staleness > 0 (buffered execution)."""
+        return sum(int(r.extras.get("stale_updates", 0))
+                   for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int | None = 1) -> str:
+        """Serialise the full run — records, extras, event timelines and
+        per-device accuracies — to a JSON string (see also
+        :func:`repro.fl.serialization.save_history`)."""
+        import json
+
+        from .serialization import history_to_dict
+        return json.dumps(history_to_dict(self), indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "History":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        from .serialization import history_from_dict
+        return history_from_dict(json.loads(payload))

@@ -23,7 +23,8 @@ def history_to_dict(history: History) -> dict:
         "records": [
             {"round_index": r.round_index, "sim_time_s": r.sim_time_s,
              "round_time_s": r.round_time_s, "train_loss": r.train_loss,
-             "global_accuracy": r.global_accuracy, "extras": r.extras}
+             "global_accuracy": r.global_accuracy, "extras": r.extras,
+             "events": r.events}
             for r in history.records
         ],
     }
@@ -39,7 +40,8 @@ def history_from_dict(payload: dict) -> History:
             round_time_s=record["round_time_s"],
             train_loss=record["train_loss"],
             global_accuracy=record["global_accuracy"],
-            extras=dict(record.get("extras", {}))))
+            extras=dict(record.get("extras", {})),
+            events=list(record.get("events", []))))
     history.final_device_accuracies = list(
         payload.get("final_device_accuracies", []))
     return history

@@ -1,10 +1,25 @@
-"""The synchronous federated round loop with a simulated wall clock.
+"""The federated round loop with a simulated wall clock.
 
-Works against the :class:`~repro.algorithms.base.MHFLAlgorithm` interface:
-every round it samples clients, lets the algorithm run local training +
-aggregation, charges the simulated clock with the slowest sampled client
-(synchronous FL: the round ends when the straggler finishes uploading), and
-periodically evaluates global accuracy.
+Two execution paths share one algorithm interface
+(:meth:`~repro.algorithms.base.MHFLAlgorithm.run_client` /
+:meth:`~repro.algorithms.base.MHFLAlgorithm.ingest`):
+
+* the **legacy synchronous loop** (``execution=None``): every sampled
+  client is always online and always finishes; the round waits for the
+  straggler.  Kept verbatim as the reference semantics;
+* the **event-driven runtime** (``execution=ExecutionConfig(...)``):
+  a discrete-event scheduler (:mod:`repro.fl.events`) plays client
+  download/train/upload events against an availability model
+  (:mod:`repro.fl.availability`) under a pluggable aggregation policy
+  (:mod:`repro.fl.aggregation`) — synchronous-with-deadline or
+  FedBuff-style buffered semi-async.
+
+With ``ExecutionConfig()`` defaults (always-on fleet, sync policy, no
+deadline) the event path reproduces the legacy History's sampled clients,
+round/sim times, losses, accuracies and per-device accuracies bit-for-bit
+(it additionally records dispatch/receive extras and per-event timelines
+the legacy loop has no notion of); the equivalence is pinned by
+``tests/test_async_runtime.py``.
 """
 
 from __future__ import annotations
@@ -13,9 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .aggregation import ExecutionConfig, make_policy, sample_count
 from .history import History, RoundRecord
 
-__all__ = ["SimulationConfig", "run_simulation", "sample_clients"]
+__all__ = ["SimulationConfig", "run_simulation", "run_event_simulation",
+           "sample_clients"]
 
 
 @dataclass(frozen=True)
@@ -30,17 +47,28 @@ class SimulationConfig:
     seed: int = 0
     #: stop early once this global accuracy is reached (None = never).
     stop_at_accuracy: float | None = None
+    #: how rounds execute: None = the legacy synchronous loop; an
+    #: :class:`~repro.fl.aggregation.ExecutionConfig` selects the
+    #: event-driven runtime (availability model + aggregation policy).
+    execution: ExecutionConfig | None = None
 
 
 def sample_clients(num_clients: int, sample_ratio: float,
                    rng: np.random.Generator) -> np.ndarray:
     """Sample the round's participants without replacement."""
-    count = max(1, int(round(num_clients * sample_ratio)))
-    return rng.choice(num_clients, size=min(count, num_clients), replace=False)
+    count = sample_count(num_clients, sample_ratio)
+    return rng.choice(num_clients, size=count, replace=False)
 
 
 def run_simulation(algorithm, config: SimulationConfig) -> History:
-    """Drive ``algorithm`` for ``config.num_rounds`` synchronous rounds."""
+    """Drive ``algorithm`` for ``config.num_rounds`` rounds.
+
+    Routes to the event-driven runtime when ``config.execution`` is set;
+    otherwise runs the legacy synchronous loop below.
+    """
+    if config.execution is not None:
+        return run_event_simulation(algorithm, config)
+
     rng = np.random.default_rng(config.seed)
     history = History(algorithm=algorithm.name, dataset=algorithm.dataset_name)
     sim_time = 0.0
@@ -64,3 +92,18 @@ def run_simulation(algorithm, config: SimulationConfig) -> History:
 
     history.final_device_accuracies = algorithm.per_device_accuracies()
     return history
+
+
+def run_event_simulation(algorithm, config: SimulationConfig,
+                         execution: ExecutionConfig | None = None) -> History:
+    """Drive ``algorithm`` through the discrete-event runtime.
+
+    ``execution`` overrides ``config.execution`` (so callers can reuse one
+    :class:`SimulationConfig` across policies); defaults apply if neither
+    is set.
+    """
+    execution = execution or config.execution or ExecutionConfig()
+    availability = execution.build_availability(algorithm.num_clients,
+                                                sim_seed=config.seed)
+    policy = make_policy(config, execution, availability)
+    return policy.run(algorithm)

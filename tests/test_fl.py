@@ -4,10 +4,11 @@ import numpy as np
 import pytest
 
 from repro import autograd as ag
+from repro.constraints import ConstraintSpec, build_scenario
 from repro.data import load_dataset
 from repro.fl import (LocalTrainConfig, train_local, make_optimizer,
                       accuracy, predict, History, RoundRecord,
-                      SimulationConfig, sample_clients)
+                      SimulationConfig, run_simulation, sample_clients)
 from repro.models import build_model
 
 
@@ -132,10 +133,43 @@ class TestHistory:
 
     def test_empty_history_raises(self):
         h = History(algorithm="a", dataset="d")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="no evaluated rounds"):
             _ = h.final_accuracy
+        with pytest.raises(ValueError, match="no evaluated rounds"):
+            _ = h.best_accuracy
         with pytest.raises(ValueError):
             h.stability()
+
+    def test_json_round_trip(self):
+        h = self._history()
+        h.final_device_accuracies = [0.4, 0.6]
+        h.records[0].extras = {"dispatched": 3, "dropped_deadline": 1}
+        h.records[0].events = [{"t": 0.0, "type": "download_start",
+                                "client": 2},
+                               {"t": 4.5, "type": "upload_complete",
+                                "client": 2, "staleness": 1}]
+        restored = History.from_json(h.to_json())
+        assert restored.algorithm == h.algorithm
+        assert restored.dataset == h.dataset
+        assert restored.final_device_accuracies == h.final_device_accuracies
+        assert len(restored.records) == len(h.records)
+        for a, b in zip(h.records, restored.records):
+            assert (a.round_index, a.sim_time_s, a.round_time_s,
+                    a.train_loss, a.global_accuracy) \
+                == (b.round_index, b.sim_time_s, b.round_time_s,
+                    b.train_loss, b.global_accuracy)
+            assert a.extras == b.extras
+            assert a.events == b.events
+        assert restored.dropped_counts() == {"deadline": 1}
+
+    def test_dropped_and_stale_helpers(self):
+        h = self._history()
+        assert h.dropped_counts() == {}
+        assert h.stale_update_count() == 0
+        h.records[1].extras = {"dropped_churn": 2, "stale_updates": 3}
+        h.records[2].extras = {"dropped_churn": 1, "dropped_dropout": 4}
+        assert h.dropped_counts() == {"churn": 3, "dropout": 4}
+        assert h.stale_update_count() == 3
 
     def test_total_sim_time(self):
         assert self._history().total_sim_time_s == 50.0
@@ -157,3 +191,50 @@ class TestSampling:
         a = sample_clients(100, 0.2, np.random.default_rng(3))
         b = sample_clients(100, 0.2, np.random.default_rng(3))
         np.testing.assert_array_equal(a, b)
+
+
+class TestSimulationEdges:
+    """Round-loop edge cases: early stop, eval boundaries, determinism."""
+
+    def _scenario(self):
+        ds = load_dataset("harbox", seed=0, num_users=8, samples_per_user=10,
+                          test_size=60)
+        model = build_model("har_cnn", num_classes=ds.num_classes, seed=0)
+        config = LocalTrainConfig(batch_size=8, local_epochs=1, max_batches=1)
+        return build_scenario("fedavg_smallest", model, ds, 8,
+                              ConstraintSpec(constraints=("computation",)),
+                              train_config=config, seed=0,
+                              eval_max_samples=60)
+
+    def test_stop_at_accuracy_exits_early(self):
+        config = SimulationConfig(num_rounds=6, sample_ratio=0.3,
+                                  eval_every=2, seed=1, stop_at_accuracy=0.0)
+        history = run_simulation(self._scenario().algorithm, config)
+        # Round 0 is an eval round and any accuracy satisfies target 0.0.
+        assert len(history.records) == 1
+        assert history.records[0].global_accuracy is not None
+
+    def test_stop_only_checks_eval_rounds(self):
+        config = SimulationConfig(num_rounds=4, sample_ratio=0.3,
+                                  eval_every=3, seed=1, stop_at_accuracy=0.0)
+        history = run_simulation(self._scenario().algorithm, config)
+        assert len(history.records) == 1  # rounds 1..2 never evaluate
+
+    def test_eval_every_boundary_last_round_evaluated(self):
+        config = SimulationConfig(num_rounds=5, sample_ratio=0.3,
+                                  eval_every=3, seed=1)
+        history = run_simulation(self._scenario().algorithm, config)
+        evaluated = [r.round_index for r in history.records
+                     if r.global_accuracy is not None]
+        # Multiples of eval_every plus the final round, even off-cycle.
+        assert evaluated == [0, 3, 4]
+
+    def test_run_deterministic_given_seed(self):
+        config = SimulationConfig(num_rounds=3, sample_ratio=0.4,
+                                  eval_every=2, seed=7)
+        first = run_simulation(self._scenario().algorithm, config)
+        second = run_simulation(self._scenario().algorithm, config)
+        for a, b in zip(first.records, second.records):
+            assert (a.sim_time_s, a.train_loss, a.global_accuracy) \
+                == (b.sim_time_s, b.train_loss, b.global_accuracy)
+        assert first.final_device_accuracies == second.final_device_accuracies

@@ -96,6 +96,23 @@ class TestCostModel:
             stats.param_bytes / device.uplink_bps
         assert abs(cm.communication_time_s(stats, device) - expected) < 1e-9
 
+    def test_round_time_is_train_plus_comm(self, resnet):
+        cm = DEFAULT_COST_MODEL
+        device = get_device("jetson_nano")
+        stats = measure_model(resnet)
+        expected = cm.training_time_s(stats, device, 100) \
+            + cm.communication_time_s(stats, device)
+        assert abs(cm.round_time_s(stats, device, 100) - expected) < 1e-9
+
+    def test_fleet_round_time_quantile_brackets_fleet(self, resnet):
+        cm = DEFAULT_COST_MODEL
+        stats = measure_model(resnet)
+        devices = [cap.as_device() for cap in sample_fleet(20, seed=0)]
+        times = [cm.round_time_s(stats, d, 100) for d in devices]
+        q80 = cm.fleet_round_time_quantile(stats, devices, 0.8, 100)
+        assert min(times) <= q80 <= max(times)
+        assert q80 >= cm.fleet_round_time_quantile(stats, devices, 0.2, 100)
+
     def test_memory_monotone_in_batch(self, resnet):
         cm = DEFAULT_COST_MODEL
         stats = measure_model(resnet)
