@@ -1,36 +1,226 @@
-"""Command-line entry point: regenerate any paper artifact.
+"""Unified command-line entry point: regenerate any paper artifact.
 
 Usage::
 
     python -m repro list
-    python -m repro table1
-    python -m repro fig4 [smoke|demo|paper]
-    python -m repro ablations demo
+    python -m repro describe fig4
+    python -m repro run fig4 --scale demo --seeds 0,1,2 --out json
+    python -m repro run fig6 --datasets cifar100 --algorithms sheterofl,fjord
+    python -m repro run fig4 --rounds 10 --availability markov
+
+Artifacts come from the registry (:mod:`repro.experiments.registry`) —
+every ``@register_artifact`` module is auto-discovered.  Runs are cached
+content-addressed under ``results/cache`` (``--cache-dir`` to relocate,
+``--no-cache`` to disable), so a repeated invocation trains nothing and a
+shared cell — the FedAvg-smallest baseline — is computed once across
+figures.
+
+The historical positional form (``python -m repro fig4 demo``) keeps
+working as a deprecated alias for ``run fig4 --scale demo``.
 """
 
 from __future__ import annotations
 
-import importlib
+import argparse
 import sys
 
-_ARTIFACTS = ["table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
-              "fig6", "fig7", "fig8", "fig9", "ablations", "async_compare"]
+from .experiments.cache import (DEFAULT_CACHE_DIR, RunCache,
+                                set_default_cache)
+from .experiments.registry import all_artifacts, get_artifact
+from .experiments.reporting import write_rows
+
+_SUBCOMMANDS = ("list", "describe", "run")
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}") from None
+
+
+def _parse_str_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate PracMHBench paper artifacts.")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list registered artifacts")
+
+    describe = sub.add_parser("describe", help="show one artifact's details")
+    describe.add_argument("artifact")
+
+    run = sub.add_parser("run", help="execute an artifact")
+    run.add_argument("artifact")
+    run.add_argument("--scale", default=None,
+                     help="scale preset: smoke | demo | paper "
+                          "(default: the artifact's own)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="single RNG seed (default 0)")
+    run.add_argument("--seeds", type=_parse_int_list, default=None,
+                     metavar="0,1,2",
+                     help="seed sweep; cells render as mean ± std")
+    run.add_argument("--datasets", type=_parse_str_list, default=None,
+                     metavar="D1,D2", help="restrict to these datasets")
+    run.add_argument("--algorithms", type=_parse_str_list, default=None,
+                     metavar="A1,A2", help="restrict to these algorithms")
+    run.add_argument("--rounds", type=int, default=None,
+                     help="override the scale's num_rounds")
+    run.add_argument("--availability", default=None,
+                     choices=("always_on", "diurnal", "markov", "dropout"),
+                     help="fleet availability scenario")
+    run.add_argument("--out", default="table",
+                     choices=("table", "json", "csv"),
+                     help="output format (default: table)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help=f"run-cache directory "
+                          f"(default: {DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the run cache entirely")
+    return parser
+
+
+def _warn(message: str) -> None:
+    print(f"note: {message}", file=sys.stderr)
+
+
+def _cmd_list() -> int:
+    artifacts = all_artifacts()
+    width = max(len(name) for name in artifacts)
+    print("artifacts:")
+    for name in sorted(artifacts):
+        print(f"  {name.ljust(width)}  {artifacts[name].title}")
+    print("\nrun one with: python -m repro run <artifact> "
+          "[--scale S] [--out table|json|csv]")
+    return 0
+
+
+def _cmd_describe(name: str) -> int:
+    try:
+        artifact = get_artifact(name)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    import importlib
+    module = importlib.import_module(artifact.module)
+    print(f"{artifact.name}: {artifact.title}")
+    print(f"  module:  {artifact.module}")
+    print(f"  options: {', '.join(artifact.params)}")
+    if artifact.description:
+        print(f"  {artifact.description}")
+    reference = getattr(module, "PAPER_REFERENCE", None)
+    if reference:
+        print(f"  paper reference: {reference}")
+    return 0
+
+
+def _artifact_kwargs(artifact, args) -> dict:
+    """Map CLI options onto the artifact's ``run`` signature.
+
+    Only options the artifact supports are forwarded; anything else the
+    user explicitly set produces a note on stderr rather than a silent
+    drop or a TypeError.
+    """
+    params = set(artifact.params)
+    kwargs: dict = {}
+
+    def forward(option: str, key: str, value) -> None:
+        if value is None:
+            return
+        if key in params:
+            kwargs[key] = value
+        else:
+            _warn(f"{artifact.name} does not support {option}; ignored")
+
+    forward("--scale", "scale", args.scale)
+    forward("--seed", "seed", args.seed)
+    if args.seeds is not None:
+        if "seeds" in params:
+            kwargs["seeds"] = args.seeds
+        elif len(args.seeds) == 1 and "seed" in params:
+            kwargs["seed"] = args.seeds[0]
+        else:
+            _warn(f"{artifact.name} does not support --seeds; ignored")
+    if args.datasets is not None:
+        if "datasets" in params:
+            kwargs["datasets"] = args.datasets
+        elif "dataset" in params and len(args.datasets) == 1:
+            kwargs["dataset"] = args.datasets[0]
+        elif "dataset" in params:
+            _warn(f"{artifact.name} takes a single dataset; "
+                  f"using {args.datasets[0]!r}")
+            kwargs["dataset"] = args.datasets[0]
+        else:
+            _warn(f"{artifact.name} does not support --datasets; ignored")
+    forward("--algorithms", "algorithms", args.algorithms)
+    forward("--availability", "availability", args.availability)
+    if args.rounds is not None:
+        if "scale_overrides" in params:
+            kwargs["scale_overrides"] = {"num_rounds": args.rounds}
+        else:
+            _warn(f"{artifact.name} does not support --rounds; ignored")
+    return kwargs
+
+
+def _cmd_run(args) -> int:
+    try:
+        artifact = get_artifact(args.artifact)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    kwargs = _artifact_kwargs(artifact, args)
+    cache = None if args.no_cache else RunCache(args.cache_dir
+                                                or DEFAULT_CACHE_DIR)
+    previous = set_default_cache(cache)
+    try:
+        rows = artifact.run(**kwargs)
+    finally:
+        set_default_cache(previous)
+    print(write_rows(rows, out=args.out, title=artifact.title,
+                     render=artifact.render, **artifact.render_kwargs))
+    if cache is not None:
+        print(f"# cache: hits={cache.hits} misses={cache.misses} "
+              f"dir={cache.directory}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print(__doc__)
-        print("artifacts:", ", ".join(_ARTIFACTS))
-        return 0
-    artifact = argv[0]
-    if artifact not in _ARTIFACTS:
-        print(f"unknown artifact {artifact!r}; choose from {_ARTIFACTS}")
-        return 2
-    module = importlib.import_module(f"repro.experiments.{artifact}")
-    # Re-point sys.argv so each module's main() picks up the scale argument.
-    sys.argv = [f"repro.experiments.{artifact}"] + argv[1:]
-    module.main()
+    argv = sys.argv[1:] if argv is None else list(argv)
+    parser = _build_parser()
+    if not argv:
+        parser.print_help()
+        print()
+        return _cmd_list()
+    head = argv[0]
+    if head not in _SUBCOMMANDS and head not in ("-h", "--help"):
+        # Deprecated positional form: `python -m repro fig4 [demo]`.
+        try:
+            get_artifact(head)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        translated = ["run", head]
+        rest = argv[1:]
+        if rest and not rest[0].startswith("-"):
+            translated += ["--scale", rest[0]]
+            rest = rest[1:]
+        translated += rest
+        _warn(f"`python -m repro {' '.join(argv)}` is deprecated; "
+              f"use `python -m repro {' '.join(translated)}`")
+        argv = translated
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args.artifact)
+    if args.command == "run":
+        return _cmd_run(args)
+    parser.print_help()
     return 0
 
 

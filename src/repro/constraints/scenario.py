@@ -37,6 +37,9 @@ class BuiltScenario:
     #: the spec this scenario was built from (carries the availability
     #: scenario the event-driven runtime should honour).
     spec: ConstraintSpec | None = None
+    #: number of label classes in the scenario's dataset, recorded so
+    #: downstream metric targets need no dataset reload.
+    num_classes: int | None = None
 
     def level_distribution(self) -> dict[str, int]:
         """How many clients run each capacity level."""
@@ -90,4 +93,5 @@ def build_scenario(algorithm_name: str, base_model: SliceableModel,
                     train_config=train_config, cost_model=cost_model,
                     eval_max_samples=eval_max_samples, pool=pool)
     return BuiltScenario(algorithm=algorithm, assigner=assigner,
-                         assignment_keys=[e.key for e in entries], spec=spec)
+                         assignment_keys=[e.key for e in entries], spec=spec,
+                         num_classes=dataset.num_classes)

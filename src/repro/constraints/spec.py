@@ -95,3 +95,30 @@ class ConstraintSpec:
                       availability_kwargs=dict(self.availability_kwargs))
         kwargs.update(overrides)
         return ExecutionConfig(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialisation (stable JSON-safe form; used by RunSpec hashing)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "constraints": list(self.constraints),
+            "deadline_quantile": self.deadline_quantile,
+            "comm_quantile": self.comm_quantile,
+            "round_deadline_s": self.round_deadline_s,
+            "comm_budget_s": self.comm_budget_s,
+            "tier_factors": dict(self.tier_factors),
+            "memory_absolute": self.memory_absolute,
+            "memory_batch_size": self.memory_batch_size,
+            "memory_headroom": self.memory_headroom,
+            "local_epochs": self.local_epochs,
+            "availability": self.availability,
+            "availability_kwargs": dict(self.availability_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConstraintSpec":
+        payload = dict(payload)
+        payload["constraints"] = tuple(payload.get("constraints",
+                                                   ("computation",)))
+        return cls(**payload)

@@ -1,22 +1,39 @@
 """Per-table / per-figure reproduction harnesses.
 
-Each module exposes ``run(scale=..., seed=...) -> list[dict]`` and a
-``main()`` so every artifact regenerates from the command line, e.g.::
+Each artifact module exposes ``run(scale=..., seed=...) -> list[dict]``
+registered under a stable name (:mod:`repro.experiments.registry`); the
+unified CLI drives them::
 
-    python -m repro.experiments.table1
-    python -m repro.experiments.fig4 demo
+    python -m repro list
+    python -m repro run fig4 --scale demo --seeds 0,1,2 --out json
+
+Runs are described declaratively by :class:`~repro.experiments.spec.RunSpec`
+and cached content-addressed (:mod:`repro.experiments.cache`), so repeated
+cells — the shared FedAvg-smallest baseline, re-rendered tables — are
+computed once.
 """
 
+from .cache import RunCache, default_cache, set_default_cache
 from .mapping import base_arch_for, build_base_model
-from .reporting import format_radar, format_table
-from .runner import RunResult, resolve_target_accuracy, run_one, run_suite
-from .scales import SCALES, ExperimentScale, get_scale
+from .registry import (Artifact, all_artifacts, artifact_names, get_artifact,
+                       register_artifact)
+from .reporting import (aggregate_seed_rows, format_radar, format_table,
+                        rows_to_csv, rows_to_json, write_rows)
+from .runner import (RunResult, execute_spec, prepare_scenario,
+                     resolve_target_accuracy, run_one, run_suite)
+from .scales import SCALES, ExperimentScale, get_scale, resolve_scale
+from .spec import RunSpec
 
 # Figure/table modules (repro.experiments.table1, .fig4, ...) are imported
 # lazily by name — importing them here would shadow `python -m` execution.
 __all__ = [
     "base_arch_for", "build_base_model",
-    "format_radar", "format_table",
-    "RunResult", "resolve_target_accuracy", "run_one", "run_suite",
-    "SCALES", "ExperimentScale", "get_scale",
+    "aggregate_seed_rows", "format_radar", "format_table",
+    "rows_to_csv", "rows_to_json", "write_rows",
+    "RunResult", "RunSpec", "execute_spec", "prepare_scenario",
+    "resolve_target_accuracy", "run_one", "run_suite",
+    "RunCache", "default_cache", "set_default_cache",
+    "Artifact", "all_artifacts", "artifact_names", "get_artifact",
+    "register_artifact",
+    "SCALES", "ExperimentScale", "get_scale", "resolve_scale",
 ]

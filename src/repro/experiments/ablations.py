@@ -16,16 +16,12 @@ constrained scenario, quantifying what the mechanism actually buys:
 
 from __future__ import annotations
 
-import sys
-
 from ..constraints import ConstraintSpec
-from ..fl.simulation import SimulationConfig, run_simulation
-from .mapping import build_base_model
-from .reporting import format_table
-from .runner import run_one
-from .scales import get_scale
+from .registry import register_artifact
+from .runner import execute_spec
+from .spec import RunSpec
 
-__all__ = ["ABLATIONS", "run", "main"]
+__all__ = ["ABLATIONS", "run"]
 
 
 def _disable_depthfl_distill(algorithm) -> None:
@@ -59,40 +55,33 @@ ABLATIONS = {
 
 
 def _run_variant(algorithm_name: str, dataset: str, scale: str, seed: int,
-                 mutate=None) -> float:
-    """One constrained run, optionally with the mechanism switched off."""
-    from ..constraints import build_scenario
-    from ..data.registry import load_dataset
-    from ..fl.client import LocalTrainConfig
+                 mutate=None, tag: str = "",
+                 scale_overrides: dict | None = None) -> float:
+    """One constrained run, optionally with the mechanism switched off.
 
-    scale_obj = get_scale(scale)
-    spec = ConstraintSpec(constraints=("computation",))
-    ds = load_dataset(dataset, seed=seed, **scale_obj.kwargs_for(dataset))
-    from ..algorithms import get_algorithm
-    level = get_algorithm(algorithm_name).level
-    base = build_base_model(ds, "width" if level == "homogeneous" else level,
-                            seed=seed)
-    scenario = build_scenario(
-        algorithm_name, base, ds, scale_obj.clients_for(dataset), spec,
-        train_config=LocalTrainConfig(batch_size=scale_obj.batch_size,
-                                      local_epochs=scale_obj.local_epochs,
-                                      max_batches=scale_obj.max_batches),
-        seed=seed, eval_max_samples=scale_obj.eval_max_samples)
-    if mutate is not None:
-        mutate(scenario.algorithm)
-    sim = SimulationConfig(num_rounds=scale_obj.num_rounds,
-                           sample_ratio=scale_obj.sample_ratio,
-                           eval_every=scale_obj.eval_every, seed=seed)
-    return run_simulation(scenario.algorithm, sim).final_accuracy
+    The ablated variant carries a ``tag`` naming the mutation, so it caches
+    under its own content hash (the full variant shares its cache entry
+    with every other plain run of the same cell).
+    """
+    spec = RunSpec(algorithm=algorithm_name, dataset=dataset,
+                   constraints=ConstraintSpec(constraints=("computation",)),
+                   scale=scale, scale_overrides=scale_overrides or {},
+                   seed=seed, tag=tag)
+    return execute_spec(spec, mutate=mutate).final_accuracy
 
 
+@register_artifact("ablations", title="Ablations: what each mechanism buys")
 def run(scale: str = "demo", seed: int = 0,
-        names: list[str] | None = None) -> list[dict]:
+        names: list[str] | None = None,
+        scale_overrides: dict | None = None) -> list[dict]:
     rows = []
     for name in (names or list(ABLATIONS)):
         algorithm, dataset, mutate, description = ABLATIONS[name]
-        full = _run_variant(algorithm, dataset, scale, seed)
-        ablated = _run_variant(algorithm, dataset, scale, seed, mutate)
+        full = _run_variant(algorithm, dataset, scale, seed,
+                            scale_overrides=scale_overrides)
+        ablated = _run_variant(algorithm, dataset, scale, seed, mutate,
+                               tag=f"ablation:{name}",
+                               scale_overrides=scale_overrides)
         rows.append({"ablation": name, "dataset": dataset,
                      "acc_full": round(full, 4),
                      "acc_ablated": round(ablated, 4),
@@ -101,11 +90,8 @@ def run(scale: str = "demo", seed: int = 0,
     return rows
 
 
-def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
-    print(format_table(run(scale=scale),
-                       title="Ablations: what each mechanism buys"))
-
-
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["ablations", *sys.argv[1:]]))

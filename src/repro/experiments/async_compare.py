@@ -19,15 +19,13 @@ fleet; pass ``availability="markov"``/``"diurnal"`` for churn studies.
 
 from __future__ import annotations
 
-import sys
-
 from ..constraints import ConstraintSpec
-from ..data.registry import load_dataset
-from .reporting import format_table
-from .runner import resolve_target_accuracy, run_one
-from .scales import get_scale
+from .registry import register_artifact
+from .runner import execute_spec, resolve_target_accuracy
+from .scales import resolve_scale
+from .spec import RunSpec
 
-__all__ = ["run", "main", "MODES", "CASES"]
+__all__ = ["run", "MODES", "CASES"]
 
 MODES = ("sync", "deadline", "buffered")
 
@@ -44,49 +42,63 @@ DEADLINE_QUANTILE = 0.8
 OVER_SELECT = 0.25
 
 
-def _mode_executions(spec: ConstraintSpec, algorithm, sample_ratio: float
-                     ) -> dict[str, object]:
-    """Execution configs for the non-sync modes, derived from the built
-    scenario so the deadline binds at any simulation scale and for any
-    algorithm's payload accounting."""
-    deadline = algorithm.fleet_round_time_quantile(DEADLINE_QUANTILE)
-    target = max(1, int(round(algorithm.num_clients * sample_ratio)))
-    return {
-        "deadline": spec.execution_config(
-            deadline_s=deadline, over_select=OVER_SELECT),
-        "buffered": spec.execution_config(
-            policy="buffered", buffer_size=max(1, target // 2),
-            max_concurrency=target),
-    }
+def _mode_factories(spec: ConstraintSpec, sample_ratio: float) -> dict:
+    """``execution_factory`` per non-sync mode: the deadline and buffer
+    sizes are derived from the *built* scenario, so the factory runs only
+    on cache misses — a fully cached cell never rebuilds the fleet."""
+
+    def deadline(scenario):
+        value = scenario.algorithm.fleet_round_time_quantile(
+            DEADLINE_QUANTILE)
+        return spec.execution_config(deadline_s=value,
+                                     over_select=OVER_SELECT)
+
+    def buffered(scenario):
+        target = max(1, int(round(
+            scenario.algorithm.num_clients * sample_ratio)))
+        return spec.execution_config(policy="buffered",
+                                     buffer_size=max(1, target // 2),
+                                     max_concurrency=target)
+
+    return {"deadline": deadline, "buffered": buffered}
 
 
+@register_artifact("async_compare",
+                   title="Async execution: sync vs deadline vs buffered "
+                         "(time-to-accuracy, simulated clock)")
 def run(scale: str = "demo", seed: int = 0, dataset: str = "harbox",
         algorithms: list[str] | None = None,
         cases: list[tuple[str, ...]] | None = None,
         availability: str = "dropout",
-        availability_kwargs: dict | None = None) -> list[dict]:
+        availability_kwargs: dict | None = None,
+        scale_overrides: dict | None = None) -> list[dict]:
     algorithms = algorithms or ["sheterofl", "depthfl"]
     if availability_kwargs is None:
         availability_kwargs = {"prob": 0.15} if availability == "dropout" \
             else {}
-    scale_obj = get_scale(scale)
-    num_classes = load_dataset(dataset, seed=seed,
-                               **scale_obj.kwargs_for(dataset)).num_classes
+    sample_ratio = resolve_scale(scale, scale_overrides).sample_ratio
 
     rows = []
     for case in (cases or CASES):
         spec = ConstraintSpec(constraints=case, availability=availability,
                               availability_kwargs=availability_kwargs)
+        factories = _mode_factories(spec, sample_ratio)
         for name in algorithms:
-            results = {"sync": run_one(name, dataset, spec, scale=scale,
-                                       seed=seed,
-                                       execution=spec.execution_config())}
-            executions = _mode_executions(
-                spec, results["sync"].scenario.algorithm,
-                scale_obj.sample_ratio)
-            for mode, execution in executions.items():
-                results[mode] = run_one(name, dataset, spec, scale=scale,
-                                        seed=seed, execution=execution)
+            base = RunSpec(algorithm=name, dataset=dataset, constraints=spec,
+                           scale=scale, scale_overrides=scale_overrides or {},
+                           seed=seed)
+            results = {"sync": execute_spec(
+                base.replace(execution=spec.execution_config()))}
+            #: tags pin the derivation constants so derived configs cache
+            #: under their own content hash.
+            results["deadline"] = execute_spec(
+                base.replace(tag=f"async:deadline:q{DEADLINE_QUANTILE}"
+                                 f":os{OVER_SELECT}"),
+                execution_factory=factories["deadline"])
+            results["buffered"] = execute_spec(
+                base.replace(tag=f"async:buffered:sr{sample_ratio}"),
+                execution_factory=factories["buffered"])
+            num_classes = results["sync"].num_classes
             target = resolve_target_accuracy(
                 [r.history for r in results.values()], num_classes)
             for mode in MODES:
@@ -106,13 +118,8 @@ def run(scale: str = "demo", seed: int = 0, dataset: str = "harbox",
     return rows
 
 
-def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
-    print(format_table(
-        run(scale=scale),
-        title="Async execution: sync vs deadline vs buffered "
-              "(time-to-accuracy, simulated clock)"))
-
-
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["async_compare", *sys.argv[1:]]))

@@ -1,0 +1,124 @@
+"""Content-addressed run cache.
+
+Every executed :class:`~repro.experiments.spec.RunSpec` can persist its
+:class:`~repro.fl.history.History` under ``<cache_dir>/<content_hash>.json``.
+Re-running the same cell — the shared ``fedavg_smallest`` baseline across
+figures, a re-rendered table, a second seed sweep — then costs a JSON read
+instead of a simulation.  Entries store the full spec next to the history,
+so a hit is verified against the spec (not just the hash) and every cached
+artifact is self-describing.
+
+The cache is **off by default for the library API** (importing repro and
+calling :func:`~repro.experiments.runner.run_one` writes nothing to disk);
+the CLI turns it on via :func:`set_default_cache`, and callers can pass an
+explicit :class:`RunCache` (or ``None``) to any runner entry point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..fl.serialization import history_from_dict, history_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..fl.history import History
+    from .spec import RunSpec
+
+__all__ = ["RunCache", "CachedRun", "DEFAULT_CACHE_DIR",
+           "default_cache", "set_default_cache"]
+
+#: layout version of the on-disk entries; mismatches read as misses.
+CACHE_VERSION = 1
+
+#: where the CLI keeps run artifacts unless ``--cache-dir`` overrides it.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+class CachedRun:
+    """One deserialised cache entry."""
+
+    __slots__ = ("history", "num_classes", "level_distribution")
+
+    def __init__(self, history: "History", num_classes: int | None,
+                 level_distribution: dict | None = None):
+        self.history = history
+        self.num_classes = num_classes
+        self.level_distribution = dict(level_distribution or {})
+
+
+class RunCache:
+    """Content-addressed store of finished runs.
+
+    ``hits``/``misses`` count lookups in this process; the CLI reports them
+    so "the second invocation trained nothing" is observable from outside.
+    """
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: "RunSpec") -> Path:
+        return self.directory / f"{spec.content_hash()}.json"
+
+    def get(self, spec: "RunSpec") -> CachedRun | None:
+        """The cached run for ``spec``, or ``None`` on a miss.
+
+        Unreadable, version-skewed, or hash-colliding entries (stored spec
+        != requested spec) all read as misses rather than errors.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (payload.get("cache_version") != CACHE_VERSION
+                or payload.get("spec") != spec.to_dict()):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CachedRun(history=history_from_dict(payload["history"]),
+                         num_classes=payload.get("num_classes"),
+                         level_distribution=payload.get("level_distribution"))
+
+    def put(self, spec: "RunSpec", history: "History",
+            num_classes: int | None = None,
+            level_distribution: dict | None = None) -> Path:
+        """Persist a finished run; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "spec": spec.to_dict(),
+            "num_classes": num_classes,
+            "level_distribution": dict(level_distribution or {}),
+            "history": history_to_dict(history),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.replace(path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunCache({str(self.directory)!r}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+#: process-wide default consulted by the runner when callers don't pass an
+#: explicit cache.  ``None`` = caching disabled (the library default).
+_DEFAULT_CACHE: RunCache | None = None
+
+
+def default_cache() -> RunCache | None:
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: RunCache | None) -> RunCache | None:
+    """Install (or clear, with ``None``) the process-wide default cache."""
+    global _DEFAULT_CACHE
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous

@@ -18,14 +18,24 @@ __all__ = ["run_constraint_figure"]
 def run_constraint_figure(constraints: tuple[str, ...],
                           datasets: list[str] | None = None,
                           algorithms: list[str] | None = None,
-                          scale: str = "demo", seed: int = 0) -> list[dict]:
-    """All four metrics for every (dataset, algorithm) under a constraint."""
+                          scale: str = "demo", seed: int = 0,
+                          seeds: list[int] | None = None,
+                          availability: str = "always_on",
+                          scale_overrides: dict | None = None) -> list[dict]:
+    """All four metrics for every (dataset, algorithm) under a constraint.
+
+    ``seeds`` sweeps the whole grid and renders mean±std cells;
+    ``availability`` swaps the fleet scenario (always_on / diurnal / markov
+    / dropout); ``scale_overrides`` tweaks individual scale fields (e.g.
+    ``{"num_rounds": 10}``).
+    """
     datasets = datasets or list(DATASET_NAMES)
     algorithms = algorithms or list(MHFL_ALGORITHMS)
-    spec = ConstraintSpec(constraints=constraints)
+    spec = ConstraintSpec(constraints=constraints, availability=availability)
     rows = []
     for dataset in datasets:
         summaries = run_suite(algorithms, dataset, spec, scale=scale,
-                              seed=seed)
+                              seed=seed, seeds=seeds,
+                              scale_overrides=scale_overrides)
         rows.extend(s.as_row() for s in summaries)
     return rows

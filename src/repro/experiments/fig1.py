@@ -8,30 +8,33 @@ paper's own radar values are "just for demonstration").
 
 from __future__ import annotations
 
-import sys
-
 from .fig4 import run as run_fig4
-from .reporting import format_radar
+from .registry import register_artifact
 
-__all__ = ["run", "main"]
+__all__ = ["run"]
 
 _AXES = ["global_acc", "tta_s", "stability_var", "effectiveness"]
 _HIGHER_BETTER = {"global_acc": True, "tta_s": False,
                   "stability_var": False, "effectiveness": True}
 
 
+@register_artifact("fig1",
+                   title="Figure 1: radar scores "
+                         "(computation-limited, 1.0 = best on axis)",
+                   render="radar", axes=_AXES,
+                   higher_better=_HIGHER_BETTER)
 def run(scale: str = "demo", seed: int = 0,
-        dataset: str = "harbox") -> list[dict]:
-    return run_fig4(scale=scale, seed=seed, datasets=[dataset])
-
-
-def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
-    rows = run(scale=scale)
-    print(format_radar(rows, _AXES, higher_better=_HIGHER_BETTER,
-                       title="Figure 1: radar scores "
-                             "(computation-limited, 1.0 = best on axis)"))
+        dataset: str = "harbox",
+        algorithms: list[str] | None = None,
+        seeds: list[int] | None = None,
+        scale_overrides: dict | None = None) -> list[dict]:
+    return run_fig4(scale=scale, seed=seed, datasets=[dataset],
+                    algorithms=algorithms, seeds=seeds,
+                    scale_overrides=scale_overrides)
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["fig1", *sys.argv[1:]]))

@@ -11,15 +11,16 @@ from ..algorithms import get_algorithm
 from ..hw.cost_model import DEFAULT_COST_MODEL
 from ..hw.device import get_device
 from ..models.zoo import build_model
-from .reporting import format_table
+from .registry import register_artifact
 
-__all__ = ["run", "main"]
+__all__ = ["run"]
 
 _ROUND_SAMPLES = 500
 _BATCH = 8
 _METHODS = ("fjord", "sheterofl", "fedrolex")
 
 
+@register_artifact("fig3", title="Figure 3: model pool on Jetson Orin NX")
 def run(scale: str = "paper", seed: int = 0) -> list[dict]:
     model_scale = "paper" if scale == "paper" else "tiny"
     orin = get_device("jetson_orin_nx")
@@ -44,9 +45,8 @@ def run(scale: str = "paper", seed: int = 0) -> list[dict]:
     return rows
 
 
-def main() -> None:
-    print(format_table(run(), title="Figure 3: model pool on Jetson Orin NX"))
-
-
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["fig3", *sys.argv[1:]]))

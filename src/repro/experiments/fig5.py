@@ -6,27 +6,28 @@ communication controlled to a budget, per the IMA bandwidth trace).
 
 from __future__ import annotations
 
-import sys
-
 from .constraint_figs import run_constraint_figure
-from .reporting import format_table
+from .registry import register_artifact
 
-__all__ = ["run", "main"]
+__all__ = ["run"]
 
 
+@register_artifact("fig5", title="Figure 5: communication-limited MHFL")
 def run(scale: str = "demo", seed: int = 0,
         datasets: list[str] | None = None,
-        algorithms: list[str] | None = None) -> list[dict]:
+        algorithms: list[str] | None = None,
+        seeds: list[int] | None = None,
+        availability: str = "always_on",
+        scale_overrides: dict | None = None) -> list[dict]:
     return run_constraint_figure(("communication",), datasets=datasets,
                                  algorithms=algorithms, scale=scale,
-                                 seed=seed)
-
-
-def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
-    print(format_table(run(scale=scale),
-                       title="Figure 5: communication-limited MHFL"))
+                                 seed=seed, seeds=seeds,
+                                 availability=availability,
+                                 scale_overrides=scale_overrides)
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["fig5", *sys.argv[1:]]))

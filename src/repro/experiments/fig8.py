@@ -7,14 +7,13 @@ computation-limited conclusions survive data heterogeneity.
 
 from __future__ import annotations
 
-import sys
-
 from ..algorithms import MHFL_ALGORITHMS
 from ..constraints import ConstraintSpec
-from .reporting import format_table
+from .registry import register_artifact
+from .reporting import aggregate_seed_rows
 from .runner import run_one
 
-__all__ = ["run", "main", "PARTITIONS", "NONIID_DATASETS"]
+__all__ = ["run", "PARTITIONS", "NONIID_DATASETS"]
 
 #: (label, scheme, alpha) — matching the paper's iid / niid-0.5 / niid-5.
 PARTITIONS = [("iid", "iid", 0.0), ("niid-0.5", "dirichlet", 0.5),
@@ -22,29 +21,44 @@ PARTITIONS = [("iid", "iid", 0.0), ("niid-0.5", "dirichlet", 0.5),
 NONIID_DATASETS = ["cifar100", "cifar10", "agnews"]
 
 
-def run(scale: str = "demo", seed: int = 0,
-        datasets: list[str] | None = None,
-        algorithms: list[str] | None = None) -> list[dict]:
-    algorithms = algorithms or list(MHFL_ALGORITHMS)
-    spec = ConstraintSpec(constraints=("computation",))
+def _rows_for_seed(seed: int, scale: str, datasets: list[str],
+                   algorithms: list[str], availability: str,
+                   scale_overrides: dict | None) -> list[dict]:
+    spec = ConstraintSpec(constraints=("computation",),
+                          availability=availability)
     rows = []
-    for dataset in (datasets or NONIID_DATASETS):
+    for dataset in datasets:
         for label, scheme, alpha in PARTITIONS:
             for name in algorithms:
                 result = run_one(name, dataset, spec, scale=scale, seed=seed,
-                                 partition_scheme=scheme, alpha=alpha)
+                                 partition_scheme=scheme, alpha=alpha,
+                                 scale_overrides=scale_overrides)
                 rows.append({"dataset": dataset, "partition": label,
                              "algorithm": name,
                              "accuracy": round(result.final_accuracy, 4)})
     return rows
 
 
-def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
-    print(format_table(run(scale=scale),
-                       title="Figure 8: non-IID robustness "
-                             "(computation-limited)"))
+@register_artifact("fig8",
+                   title="Figure 8: non-IID robustness "
+                         "(computation-limited)")
+def run(scale: str = "demo", seed: int = 0,
+        datasets: list[str] | None = None,
+        algorithms: list[str] | None = None,
+        seeds: list[int] | None = None,
+        availability: str = "always_on",
+        scale_overrides: dict | None = None) -> list[dict]:
+    algorithms = algorithms or list(MHFL_ALGORITHMS)
+    datasets = list(datasets or NONIID_DATASETS)
+    return aggregate_seed_rows(
+        [_rows_for_seed(s, scale, datasets, algorithms, availability,
+                        scale_overrides)
+         for s in (seeds if seeds else [seed])],
+        value_keys=["accuracy"])
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["fig8", *sys.argv[1:]]))

@@ -8,16 +8,14 @@ FedProto following the paper's Figure 9 legend.
 
 from __future__ import annotations
 
-import sys
-
 from ..algorithms import MHFL_ALGORITHMS
 from ..constraints import ConstraintSpec
-from ..data.registry import load_dataset
-from .reporting import format_table
+from .registry import register_artifact
+from .reporting import aggregate_seed_rows
 from .runner import resolve_target_accuracy, run_one
 from .scales import get_scale
 
-__all__ = ["run", "main", "client_counts_for"]
+__all__ = ["run", "client_counts_for"]
 
 _FIG9_ALGORITHMS = [n for n in MHFL_ALGORITHMS if n != "fedproto"]
 
@@ -28,24 +26,21 @@ def client_counts_for(scale_name: str) -> list[int]:
     return [base, base * 2, base * 5]
 
 
-def run(scale: str = "demo", seed: int = 0, dataset: str = "cifar100",
-        algorithms: list[str] | None = None,
-        client_counts: list[int] | None = None) -> list[dict]:
-    algorithms = algorithms or list(_FIG9_ALGORITHMS)
-    scale_obj = get_scale(scale)
-    counts = client_counts or client_counts_for(scale_obj.name)
-    spec = ConstraintSpec(constraints=("memory",))
+def _rows_for_seed(seed: int, scale: str, dataset: str,
+                   algorithms: list[str], counts: list[int],
+                   availability: str,
+                   scale_overrides: dict | None) -> list[dict]:
+    spec = ConstraintSpec(constraints=("memory",), availability=availability)
     rows = []
     for num_clients in counts:
-        histories = []
         results = {}
         for name in algorithms:
-            result = run_one(name, dataset, spec, scale=scale, seed=seed,
-                             num_clients=num_clients)
-            results[name] = result
-            histories.append(result.history)
-        ds = load_dataset(dataset, seed=seed, **scale_obj.kwargs_for(dataset))
-        target = resolve_target_accuracy(histories, ds.num_classes)
+            results[name] = run_one(name, dataset, spec, scale=scale,
+                                    seed=seed, num_clients=num_clients,
+                                    scale_overrides=scale_overrides)
+        num_classes = next(iter(results.values())).num_classes
+        target = resolve_target_accuracy(
+            [r.history for r in results.values()], num_classes)
         for name, result in results.items():
             tta = result.history.time_to_accuracy(target)
             rows.append({"clients": num_clients, "algorithm": name,
@@ -54,11 +49,25 @@ def run(scale: str = "demo", seed: int = 0, dataset: str = "cifar100",
     return rows
 
 
-def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "demo"
-    print(format_table(run(scale=scale),
-                       title="Figure 9: scalability (memory-limited CIFAR-100)"))
+@register_artifact("fig9",
+                   title="Figure 9: scalability (memory-limited CIFAR-100)")
+def run(scale: str = "demo", seed: int = 0, dataset: str = "cifar100",
+        algorithms: list[str] | None = None,
+        client_counts: list[int] | None = None,
+        seeds: list[int] | None = None,
+        availability: str = "always_on",
+        scale_overrides: dict | None = None) -> list[dict]:
+    algorithms = algorithms or list(_FIG9_ALGORITHMS)
+    counts = client_counts or client_counts_for(get_scale(scale).name)
+    return aggregate_seed_rows(
+        [_rows_for_seed(s, scale, dataset, algorithms, counts, availability,
+                        scale_overrides)
+         for s in (seeds if seeds else [seed])],
+        value_keys=["accuracy", "tta_s"])
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["fig9", *sys.argv[1:]]))

@@ -1,37 +1,79 @@
-"""Experiment runner: one constrained run, or a suite with shared baseline.
+"""Experiment runner: declarative RunSpec execution with a run cache.
 
-The per-figure modules compose these two entry points; everything
-scale-dependent comes from :mod:`repro.experiments.scales`.
+:func:`execute_spec` is the single execution path — it resolves a
+:class:`~repro.experiments.spec.RunSpec` into a built scenario, runs the
+simulation, and (when a :class:`~repro.experiments.cache.RunCache` is
+active) serves repeated cells from disk instead of recomputing them.
+:func:`run_one` and :func:`run_suite` keep their historical signatures as
+thin wrappers; :func:`run_suite` additionally sweeps seeds
+(``seeds=[0, 1, 2]``) into mean±std :class:`~repro.metrics.MetricSummary`
+rows.  Everything scale-dependent comes from
+:mod:`repro.experiments.scales`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from ..algorithms import get_algorithm
 from ..constraints import BuiltScenario, ConstraintSpec, build_scenario
+from ..data.dataset import FederatedDataset
 from ..data.registry import load_dataset
 from ..fl.aggregation import ExecutionConfig
 from ..fl.client import LocalTrainConfig
 from ..fl.history import History
 from ..fl.simulation import SimulationConfig, run_simulation
-from ..metrics import MetricSummary, summarize
+from ..metrics import MetricSummary, aggregate_summaries, summarize
+from .cache import RunCache, default_cache
 from .mapping import build_base_model
 from .scales import ExperimentScale, get_scale
+from .spec import RunSpec, spec_scale_fields
 
-__all__ = ["RunResult", "run_one", "run_suite", "resolve_target_accuracy"]
+__all__ = ["RunResult", "execute_spec", "prepare_scenario", "run_one",
+           "run_suite", "resolve_target_accuracy", "DEFAULT"]
+
+
+class _Default:
+    """Sentinel: "use the process-wide default cache" (which may be None)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<use default cache>"
+
+
+DEFAULT = _Default()
+
+
+def _resolve_cache(cache) -> RunCache | None:
+    return default_cache() if isinstance(cache, _Default) else cache
 
 
 @dataclass
 class RunResult:
-    """One algorithm's constrained run."""
+    """One algorithm's constrained run.
+
+    ``scenario`` is ``None`` when the run was served from the cache — the
+    history, ``num_classes`` and ``level_distribution`` survive the round
+    trip; live scenario objects (models, clients) do not.
+    """
 
     history: History
-    scenario: BuiltScenario
+    scenario: BuiltScenario | None
+    num_classes: int | None = None
+    spec: RunSpec | None = None
+    from_cache: bool = False
+    #: level distribution recovered from a cache entry (live runs read it
+    #: off the scenario instead).
+    _cached_levels: dict = field(default_factory=dict, repr=False)
 
     @property
     def final_accuracy(self) -> float:
         return self.history.final_accuracy
+
+    def level_distribution(self) -> dict[str, int]:
+        if self.scenario is not None:
+            return self.scenario.level_distribution()
+        return dict(self._cached_levels)
 
 
 def _train_config(scale: ExperimentScale) -> LocalTrainConfig:
@@ -40,39 +82,95 @@ def _train_config(scale: ExperimentScale) -> LocalTrainConfig:
                             max_batches=scale.max_batches)
 
 
+def prepare_scenario(spec: RunSpec) -> tuple[BuiltScenario, FederatedDataset]:
+    """Build (but do not run) the scenario a spec describes.
+
+    The build order is the historical ``run_one`` order — dataset, base
+    model, scenario — so specs reproduce pre-RunSpec runs bit-for-bit.
+    """
+    scale = spec.resolved_scale()
+    dataset = load_dataset(spec.dataset, seed=spec.seed,
+                           **scale.kwargs_for(spec.dataset))
+    level = get_algorithm(spec.algorithm).level
+    model_level = "width" if level == "homogeneous" else level
+    base_model = build_base_model(dataset, model_level, seed=spec.seed)
+    clients = spec.num_clients or scale.clients_for(spec.dataset)
+    scenario = build_scenario(
+        spec.algorithm, base_model, dataset, clients, spec.constraints,
+        train_config=_train_config(scale),
+        partition_scheme=spec.partition_scheme, alpha=spec.alpha,
+        seed=spec.seed, eval_max_samples=scale.eval_max_samples)
+    return scenario, dataset
+
+
+def execute_spec(spec: RunSpec, *, cache=DEFAULT,
+                 mutate: Callable | None = None,
+                 execution_factory: Callable | None = None) -> RunResult:
+    """Execute one RunSpec, consulting the run cache first.
+
+    ``mutate(algorithm)`` (ablations) and ``execution_factory(scenario) ->
+    ExecutionConfig`` (configs derived from the built fleet) alter the run
+    beyond what the spec serialises, so providing either with caching
+    enabled requires ``spec.tag`` to be set — the tag keeps the content
+    hash faithful to the altered behaviour.
+    """
+    cache = _resolve_cache(cache)
+    if cache is not None and (mutate or execution_factory) and not spec.tag:
+        raise ValueError("mutate/execution_factory alter the run beyond the "
+                         "spec; set spec.tag so it caches under its own hash")
+    if cache is not None:
+        entry = cache.get(spec)
+        if entry is not None:
+            return RunResult(history=entry.history, scenario=None,
+                             num_classes=entry.num_classes, spec=spec,
+                             from_cache=True,
+                             _cached_levels=entry.level_distribution)
+
+    scale = spec.resolved_scale()
+    scenario, dataset = prepare_scenario(spec)
+    if mutate is not None:
+        mutate(scenario.algorithm)
+    if execution_factory is not None:
+        execution = execution_factory(scenario)
+    else:
+        execution = spec.resolved_execution()
+    sim = SimulationConfig(num_rounds=scale.num_rounds,
+                           sample_ratio=scale.sample_ratio,
+                           eval_every=scale.eval_every, seed=spec.seed,
+                           execution=execution)
+    history = run_simulation(scenario.algorithm, sim)
+    result = RunResult(history=history, scenario=scenario,
+                       num_classes=dataset.num_classes, spec=spec)
+    if cache is not None:
+        cache.put(spec, history, num_classes=dataset.num_classes,
+                  level_distribution=scenario.level_distribution())
+    return result
+
+
 def run_one(algorithm: str, dataset_name: str, spec: ConstraintSpec,
             scale: str | ExperimentScale = "demo", seed: int = 0,
             partition_scheme: str = "auto", alpha: float = 0.5,
             num_clients: int | None = None,
-            execution: ExecutionConfig | None = None) -> RunResult:
+            execution: ExecutionConfig | None = None,
+            scale_overrides: dict | None = None,
+            cache=DEFAULT) -> RunResult:
     """Run one algorithm on one dataset under one constraint case.
 
-    ``execution`` selects the event-driven runtime (aggregation policy +
-    availability model); when omitted, a spec with a non-trivial
-    availability scenario still routes through the event engine so the
-    scenario is honoured, and an always-on spec runs the legacy loop.
+    Back-compat wrapper over :func:`execute_spec`: the arguments are packed
+    into a :class:`RunSpec`, so the run is cacheable and addressable.
+    ``execution`` selects the event-driven runtime; when omitted, a spec
+    with a non-trivial availability scenario still routes through the event
+    engine so the scenario is honoured.
     """
-    scale = get_scale(scale) if isinstance(scale, str) else scale
-    dataset = load_dataset(dataset_name, seed=seed,
-                           **scale.kwargs_for(dataset_name))
-    level = get_algorithm(algorithm).level
-    model_level = "width" if level == "homogeneous" else level
-    base_model = build_base_model(dataset, model_level, seed=seed)
-    clients = num_clients or scale.clients_for(dataset_name)
-
-    scenario = build_scenario(
-        algorithm, base_model, dataset, clients, spec,
-        train_config=_train_config(scale),
-        partition_scheme=partition_scheme, alpha=alpha, seed=seed,
-        eval_max_samples=scale.eval_max_samples)
-    if execution is None and spec.availability != "always_on":
-        execution = spec.execution_config()
-    sim = SimulationConfig(num_rounds=scale.num_rounds,
-                           sample_ratio=scale.sample_ratio,
-                           eval_every=scale.eval_every, seed=seed,
-                           execution=execution)
-    history = run_simulation(scenario.algorithm, sim)
-    return RunResult(history=history, scenario=scenario)
+    scale_name, packed_overrides = spec_scale_fields(scale)
+    packed_overrides.update(scale_overrides or {})
+    run_spec = RunSpec(algorithm=algorithm, dataset=dataset_name,
+                       constraints=spec, scale=scale_name,
+                       scale_overrides=packed_overrides,
+                       execution=execution,
+                       partition_scheme=partition_scheme, alpha=alpha,
+                       num_clients=num_clients, seed=seed)
+    return execute_spec(run_spec, cache=cache)
 
 
 def resolve_target_accuracy(histories: list[History],
@@ -93,25 +191,35 @@ def run_suite(algorithms: list[str], dataset_name: str, spec: ConstraintSpec,
               scale: str | ExperimentScale = "demo", seed: int = 0,
               partition_scheme: str = "auto", alpha: float = 0.5,
               num_clients: int | None = None,
-              with_baseline: bool = True) -> list[MetricSummary]:
+              with_baseline: bool = True,
+              seeds: list[int] | None = None,
+              scale_overrides: dict | None = None,
+              cache=DEFAULT) -> list[MetricSummary]:
     """Run a set of algorithms plus the effectiveness baseline.
 
-    Returns one :class:`MetricSummary` per algorithm, all using the same
-    adaptive time-to-accuracy target and the same FedAvg-smallest baseline.
+    Returns one :class:`MetricSummary` per algorithm.  Within each seed all
+    algorithms share the same adaptive time-to-accuracy target and the same
+    FedAvg-smallest baseline; ``seeds=[0, 1, 2]`` sweeps the whole suite
+    and aggregates each algorithm's per-seed summaries into mean±std form
+    (``seeds`` takes precedence over the scalar ``seed``).
     """
-    scale = get_scale(scale) if isinstance(scale, str) else scale
-    results = {name: run_one(name, dataset_name, spec, scale, seed,
-                             partition_scheme, alpha, num_clients)
-               for name in algorithms}
-    baseline_history = None
-    if with_baseline:
-        baseline_history = run_one(
-            "fedavg_smallest", dataset_name, spec, scale, seed,
-            partition_scheme, alpha, num_clients).history
+    per_algorithm: dict[str, list[MetricSummary]] = {n: [] for n in algorithms}
+    for one_seed in (seeds if seeds else [seed]):
+        results = {name: run_one(name, dataset_name, spec, scale, one_seed,
+                                 partition_scheme, alpha, num_clients,
+                                 scale_overrides=scale_overrides, cache=cache)
+                   for name in algorithms}
+        baseline_history = None
+        if with_baseline:
+            baseline_history = run_one(
+                "fedavg_smallest", dataset_name, spec, scale, one_seed,
+                partition_scheme, alpha, num_clients,
+                scale_overrides=scale_overrides, cache=cache).history
 
-    dataset = load_dataset(dataset_name, seed=seed,
-                           **scale.kwargs_for(dataset_name))
-    target = resolve_target_accuracy(
-        [r.history for r in results.values()], dataset.num_classes)
-    return [summarize(result.history, target, baseline_history)
-            for result in results.values()]
+        num_classes = next(iter(results.values())).num_classes
+        target = resolve_target_accuracy(
+            [r.history for r in results.values()], num_classes)
+        for name, result in results.items():
+            per_algorithm[name].append(
+                summarize(result.history, target, baseline_history))
+    return [aggregate_summaries(per_algorithm[name]) for name in algorithms]

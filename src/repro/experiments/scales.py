@@ -16,9 +16,9 @@ accuracy keeps paper-like semantics at any scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields, replace
 
-__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+__all__ = ["ExperimentScale", "SCALES", "get_scale", "resolve_scale"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,27 @@ class ExperimentScale:
 
     def kwargs_for(self, dataset: str) -> dict:
         return dict(self.dataset_kwargs.get(dataset, {}))
+
+    def with_overrides(self, **overrides) -> "ExperimentScale":
+        """Copy of this scale with selected fields replaced.
+
+        Unknown field names raise ``ValueError`` so declarative specs fail
+        loudly instead of silently ignoring a typo'd override.
+        """
+        if not overrides:
+            return self
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(f"unknown scale override(s) {sorted(unknown)}; "
+                             f"known fields: {sorted(known - {'name'})}")
+        return replace(self, **overrides)
+
+    def overrides_from(self, base: "ExperimentScale") -> dict:
+        """Fields of this scale that differ from ``base`` (name excluded)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "name"
+                and getattr(self, f.name) != getattr(base, f.name)}
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -102,3 +123,22 @@ def get_scale(name: str) -> ExperimentScale:
         return SCALES[name]
     except KeyError:
         raise ValueError(f"unknown scale {name!r}; known: {sorted(SCALES)}") from None
+
+
+def resolve_scale(scale: str | ExperimentScale,
+                  overrides: dict | None = None) -> ExperimentScale:
+    """Resolve a scale reference plus field overrides to a concrete scale.
+
+    ``scale`` is either a preset name or an already-built
+    :class:`ExperimentScale`; an unknown name is accepted when ``overrides``
+    supplies every field (the serialised form of a fully custom scale).
+    """
+    if isinstance(scale, ExperimentScale):
+        base = scale
+    elif scale in SCALES:
+        base = SCALES[scale]
+    elif overrides:
+        return ExperimentScale(name=scale, **overrides)
+    else:
+        raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    return base.with_overrides(**(overrides or {}))

@@ -1,0 +1,168 @@
+"""Declarative experiment descriptions.
+
+A :class:`RunSpec` is the full, serialisable description of one simulated
+cell: *which algorithm*, *which dataset*, *under which constraint case*,
+*at which scale* (with optional field overrides), *how rounds execute*,
+*how data is partitioned* and *with which seed*.  Every experiment artifact
+is a sweep of RunSpecs, which buys three things:
+
+* **addressability** — :meth:`RunSpec.content_hash` is a deterministic
+  digest of the canonical JSON form, so a run can be cached, looked up and
+  shared across figures (:mod:`repro.experiments.cache`);
+* **reproducibility** — :meth:`to_dict`/:meth:`from_dict` round-trip
+  losslessly, so the exact cell a number came from can be stored next to
+  the number;
+* **composability** — sweeps are plain data transformations
+  (:meth:`with_seed`, :meth:`replace`), not copies of runner plumbing.
+
+The ``tag`` field distinguishes runs whose behaviour is altered *outside*
+the spec (an ablation mutating the built algorithm, a derived execution
+config): callers providing such hooks must set a unique tag so the content
+hash stays faithful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace as _dc_replace
+
+from ..constraints import ConstraintSpec
+from ..fl.aggregation import ExecutionConfig
+from .scales import ExperimentScale, SCALES, resolve_scale
+
+__all__ = ["RunSpec", "spec_scale_fields"]
+
+#: bump when the serialised form changes incompatibly (invalidates caches).
+SPEC_VERSION = 1
+
+
+def spec_scale_fields(scale: str | ExperimentScale) -> tuple[str, dict]:
+    """Split a scale reference into RunSpec's ``(scale, scale_overrides)``.
+
+    Preset names pass through; an :class:`ExperimentScale` object is stored
+    as its name plus the fields that differ from the same-named preset (or
+    all fields when the name is not a preset), so hand-built scales remain
+    serialisable and hash stably.
+    """
+    if isinstance(scale, str):
+        return scale, {}
+    preset = SCALES.get(scale.name)
+    if preset is not None:
+        return scale.name, scale.overrides_from(preset)
+    from dataclasses import asdict
+    payload = asdict(scale)
+    payload.pop("name")
+    return scale.name, payload
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated (algorithm, dataset, constraint, scale, seed) cell."""
+
+    algorithm: str
+    dataset: str
+    constraints: ConstraintSpec = field(default_factory=ConstraintSpec)
+    scale: str = "demo"
+    #: per-field overrides applied to the named scale preset
+    #: (see :meth:`repro.experiments.scales.ExperimentScale.with_overrides`).
+    scale_overrides: dict = field(default_factory=dict)
+    execution: ExecutionConfig | None = None
+    partition_scheme: str = "auto"
+    alpha: float = 0.5
+    #: overrides the scale's per-dataset client count when set.
+    num_clients: int | None = None
+    seed: int = 0
+    #: marks out-of-spec behaviour changes (ablation mutations, derived
+    #: execution configs) so they cache under their own hash.
+    tag: str = ""
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolved_scale(self) -> ExperimentScale:
+        return resolve_scale(self.scale, self.scale_overrides)
+
+    def resolved_execution(self) -> ExecutionConfig | None:
+        """The execution block the runner will actually use.
+
+        Mirrors the legacy ``run_one`` behaviour: an explicit execution
+        wins; otherwise a non-trivial availability scenario routes through
+        the event engine so the scenario is honoured.
+        """
+        if self.execution is not None:
+            return self.execution
+        if self.constraints.availability != "always_on":
+            return self.constraints.execution_config()
+        return None
+
+    # ------------------------------------------------------------------
+    # Sweep helpers
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "RunSpec":
+        return _dc_replace(self, **changes)
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        return self.replace(seed=seed)
+
+    # ------------------------------------------------------------------
+    # Serialisation + content addressing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "version": SPEC_VERSION,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "constraints": self.constraints.to_dict(),
+            "scale": self.scale,
+            "scale_overrides": dict(self.scale_overrides),
+            "execution": (None if self.execution is None
+                          else self.execution.to_dict()),
+            "partition_scheme": self.partition_scheme,
+            "alpha": self.alpha,
+            "num_clients": self.num_clients,
+            "seed": self.seed,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSpec":
+        payload = dict(payload)
+        version = payload.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(f"unsupported RunSpec version {version!r} "
+                             f"(this build reads {SPEC_VERSION})")
+        payload["constraints"] = ConstraintSpec.from_dict(
+            payload.get("constraints", {}))
+        execution = payload.get("execution")
+        payload["execution"] = (None if execution is None
+                                else ExecutionConfig.from_dict(execution))
+        return cls(**payload)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunSpec":
+        return cls.from_dict(json.loads(payload))
+
+    def content_hash(self) -> str:
+        """Deterministic digest of the canonical JSON form.
+
+        Stable across processes and sessions: the canonical form sorts keys
+        and uses compact separators, so two equal specs always share a hash
+        and any field change produces a new one.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable cell label (not unique — use the hash)."""
+        parts = [self.algorithm, self.dataset, self.constraints.label,
+                 f"{self.scale}", f"seed{self.seed}"]
+        if self.tag:
+            parts.append(self.tag)
+        return "/".join(parts)

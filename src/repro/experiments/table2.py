@@ -9,11 +9,12 @@ from __future__ import annotations
 from ..algorithms import ALGORITHMS
 from ..data.registry import DATASET_TRACKS
 from .mapping import base_arch_for
-from .reporting import format_table
+from .registry import register_artifact
 
-__all__ = ["run", "main"]
+__all__ = ["run"]
 
 
+@register_artifact("table2", title="Table II: platform statistics")
 def run(scale: str = "demo", seed: int = 0) -> list[dict]:
     rows = []
     for name, cls in ALGORITHMS.items():
@@ -28,9 +29,8 @@ def run(scale: str = "demo", seed: int = 0) -> list[dict]:
     return rows
 
 
-def main() -> None:
-    print(format_table(run(), title="Table II: platform statistics"))
-
-
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["table2", *sys.argv[1:]]))

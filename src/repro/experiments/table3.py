@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from ..hw.device import EDGE_DEVICES
-from .reporting import format_table
+from .registry import register_artifact
 
-__all__ = ["run", "main"]
+__all__ = ["run"]
 
 
+@register_artifact("table3", title="Table III: edge devices")
 def run(scale: str = "demo", seed: int = 0) -> list[dict]:
     rows = []
     for device in EDGE_DEVICES.values():
@@ -21,9 +22,8 @@ def run(scale: str = "demo", seed: int = 0) -> list[dict]:
     return rows
 
 
-def main() -> None:
-    print(format_table(run(), title="Table III: edge devices"))
-
-
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.__main__ import main
+    raise SystemExit(main(["table3", *sys.argv[1:]]))

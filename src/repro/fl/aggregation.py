@@ -91,6 +91,28 @@ class ExecutionConfig:
         return make_availability(self.availability, num_clients, seed=seed,
                                  **self.availability_kwargs)
 
+    # ------------------------------------------------------------------
+    # Serialisation (stable JSON-safe form; used by RunSpec hashing)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "policy": self.policy,
+            "availability": self.availability,
+            "availability_kwargs": dict(self.availability_kwargs),
+            "deadline_s": self.deadline_s,
+            "over_select": self.over_select,
+            "buffer_size": self.buffer_size,
+            "max_concurrency": self.max_concurrency,
+            "staleness_exponent": self.staleness_exponent,
+            "availability_seed": self.availability_seed,
+            "record_events": self.record_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionConfig":
+        return cls(**payload)
+
 
 class AggregationPolicy:
     """Base: owns the queue/clock/history plumbing both policies share."""

@@ -60,12 +60,19 @@ def sample_clients(num_clients: int, sample_ratio: float,
     return rng.choice(num_clients, size=count, replace=False)
 
 
+#: Simulations started in this process.  The run cache's "a cache hit does
+#: zero training" guarantee is pinned by asserting this does not move.
+RUN_COUNT = 0
+
+
 def run_simulation(algorithm, config: SimulationConfig) -> History:
     """Drive ``algorithm`` for ``config.num_rounds`` rounds.
 
     Routes to the event-driven runtime when ``config.execution`` is set;
     otherwise runs the legacy synchronous loop below.
     """
+    global RUN_COUNT
+    RUN_COUNT += 1
     if config.execution is not None:
         return run_event_simulation(algorithm, config)
 

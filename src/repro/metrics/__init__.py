@@ -8,8 +8,10 @@ All four are computed from :class:`~repro.fl.History` objects:
 * **effectiveness** — accuracy gain over the smallest-homogeneous baseline.
 """
 
-from .summary import (MetricSummary, summarize, global_accuracy,
-                      time_to_accuracy, stability, effectiveness)
+from .summary import (MetricSummary, summarize, aggregate_summaries,
+                      mean_std, global_accuracy, time_to_accuracy, stability,
+                      effectiveness)
 
-__all__ = ["MetricSummary", "summarize", "global_accuracy",
-           "time_to_accuracy", "stability", "effectiveness"]
+__all__ = ["MetricSummary", "summarize", "aggregate_summaries", "mean_std",
+           "global_accuracy", "time_to_accuracy", "stability",
+           "effectiveness"]

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..fl.history import History
 
-__all__ = ["MetricSummary", "summarize", "global_accuracy",
-           "time_to_accuracy", "stability", "effectiveness"]
+__all__ = ["MetricSummary", "summarize", "aggregate_summaries", "mean_std",
+           "global_accuracy", "time_to_accuracy", "stability",
+           "effectiveness"]
 
 
 def global_accuracy(history: History) -> float:
@@ -45,7 +48,12 @@ def effectiveness(history: History, baseline: History) -> float:
 
 @dataclass(frozen=True)
 class MetricSummary:
-    """All four metrics for one (algorithm, scenario) run."""
+    """All four metrics for one (algorithm, scenario) cell.
+
+    A cell may aggregate several seeds (``num_seeds > 1``), in which case
+    the point fields hold the across-seed mean and the ``*_std`` fields the
+    sample standard deviation (``None`` for single-seed cells).
+    """
 
     algorithm: str
     dataset: str
@@ -53,10 +61,15 @@ class MetricSummary:
     time_to_accuracy_s: float | None
     stability: float
     effectiveness: float | None
+    num_seeds: int = 1
+    global_accuracy_std: float | None = None
+    time_to_accuracy_s_std: float | None = None
+    stability_std: float | None = None
+    effectiveness_std: float | None = None
 
     def as_row(self) -> dict:
         tta = self.time_to_accuracy_s
-        return {
+        row = {
             "algorithm": self.algorithm,
             "dataset": self.dataset,
             "global_acc": round(self.global_accuracy, 4),
@@ -65,6 +78,15 @@ class MetricSummary:
             "effectiveness": (None if self.effectiveness is None
                               else round(self.effectiveness, 4)),
         }
+        if self.num_seeds > 1:
+            def _round(value, digits):
+                return None if value is None else round(value, digits)
+            row["seeds"] = self.num_seeds
+            row["global_acc_std"] = _round(self.global_accuracy_std, 4)
+            row["tta_s_std"] = _round(self.time_to_accuracy_s_std, 1)
+            row["stability_var_std"] = _round(self.stability_std, 6)
+            row["effectiveness_std"] = _round(self.effectiveness_std, 4)
+        return row
 
 
 def summarize(history: History, target_accuracy: float,
@@ -78,3 +100,49 @@ def summarize(history: History, target_accuracy: float,
         stability=stability(history),
         effectiveness=(None if baseline is None
                        else effectiveness(history, baseline)))
+
+
+def mean_std(values: list[float | None]) -> tuple[float | None,
+                                                  float | None]:
+    """Across-seed mean and sample std, ignoring ``None`` entries.
+
+    ``None`` marks a missing measurement (e.g. a seed that never reaches
+    the time-to-accuracy target); the aggregate is computed over the values
+    that exist (and is ``None`` when none do).  Std is ``None`` when fewer
+    than two values exist.  The single aggregation policy shared by
+    :func:`aggregate_summaries` and the row-level
+    :func:`repro.experiments.reporting.aggregate_seed_rows`.
+    """
+    numeric = [v for v in values if v is not None]
+    if not numeric:
+        return None, None
+    mean = float(np.mean(numeric))
+    std = float(np.std(numeric, ddof=1)) if len(numeric) > 1 else None
+    return mean, std
+
+
+def aggregate_summaries(summaries: list[MetricSummary]) -> MetricSummary:
+    """Collapse per-seed summaries of one cell into a mean±std summary."""
+    if not summaries:
+        raise ValueError("no summaries to aggregate")
+    if len(summaries) == 1:
+        return summaries[0]
+    cells = {(s.algorithm, s.dataset) for s in summaries}
+    if len(cells) != 1:
+        raise ValueError(f"refusing to aggregate across cells: {sorted(cells)}")
+    acc_mean, acc_std = mean_std([s.global_accuracy for s in summaries])
+    tta_mean, tta_std = mean_std([s.time_to_accuracy_s for s in summaries])
+    stab_mean, stab_std = mean_std([s.stability for s in summaries])
+    eff_mean, eff_std = mean_std([s.effectiveness for s in summaries])
+    return MetricSummary(
+        algorithm=summaries[0].algorithm,
+        dataset=summaries[0].dataset,
+        global_accuracy=acc_mean,
+        time_to_accuracy_s=tta_mean,
+        stability=stab_mean,
+        effectiveness=eff_mean,
+        num_seeds=len(summaries),
+        global_accuracy_std=acc_std,
+        time_to_accuracy_s_std=tta_std,
+        stability_std=stab_std,
+        effectiveness_std=eff_std)

@@ -1,0 +1,434 @@
+"""The declarative experiment API: RunSpec, run cache, registry, CLI.
+
+Pins the PR-3 acceptance criteria: stable spec hashing and JSON round
+trips, cache hit/miss semantics ("a hit trains nothing", asserted via the
+simulation run counter), bit-for-bit equivalence of the RunSpec path with
+the historical imperative ``run_one`` sequence, registry completeness, and
+CLI argument parsing including ``--seeds`` and ``--out json``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main, _parse_int_list
+from repro.algorithms import get_algorithm
+from repro.constraints import ConstraintSpec, build_scenario
+from repro.data.registry import load_dataset
+from repro.experiments import (RunCache, RunSpec, aggregate_seed_rows,
+                               all_artifacts, artifact_names, execute_spec,
+                               format_table, get_scale, resolve_scale,
+                               rows_to_csv, rows_to_json, run_one, run_suite,
+                               set_default_cache, write_rows)
+from repro.experiments.mapping import build_base_model
+from repro.experiments.spec import spec_scale_fields
+from repro.fl import simulation
+from repro.fl.aggregation import ExecutionConfig
+from repro.fl.client import LocalTrainConfig
+from repro.fl.serialization import history_to_dict
+from repro.fl.simulation import SimulationConfig, run_simulation
+from repro.metrics import MetricSummary, aggregate_summaries
+
+SMOKE = ConstraintSpec(constraints=("computation",))
+
+
+def _smoke_spec(**overrides) -> RunSpec:
+    base = dict(algorithm="sheterofl", dataset="harbox", constraints=SMOKE,
+                scale="smoke", seed=0)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRunSpecSerialization:
+    def _rich_spec(self) -> RunSpec:
+        return RunSpec(
+            algorithm="depthfl", dataset="cifar10",
+            constraints=ConstraintSpec(constraints=("memory", "computation"),
+                                       availability="dropout",
+                                       availability_kwargs={"prob": 0.2}),
+            scale="smoke", scale_overrides={"num_rounds": 7},
+            execution=ExecutionConfig(policy="buffered", buffer_size=3,
+                                      availability="dropout",
+                                      availability_kwargs={"prob": 0.2}),
+            partition_scheme="dirichlet", alpha=0.3, num_clients=6,
+            seed=3, tag="t")
+
+    def test_dict_round_trip(self):
+        spec = self._rich_spec()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = self._rich_spec()
+        assert RunSpec.from_json(spec.to_json()) == spec
+        # canonical form is deterministic
+        assert spec.to_json() == self._rich_spec().to_json()
+
+    def test_hash_stable(self):
+        assert self._rich_spec().content_hash() == \
+            self._rich_spec().content_hash()
+        assert _smoke_spec().content_hash() == _smoke_spec().content_hash()
+
+    def test_any_field_change_changes_hash(self):
+        spec = self._rich_spec()
+        base_hash = spec.content_hash()
+        changed = {
+            "algorithm": "fjord",
+            "dataset": "harbox",
+            "constraints": ConstraintSpec(constraints=("communication",)),
+            "scale": "demo",
+            "scale_overrides": {"num_rounds": 8},
+            "execution": None,
+            "partition_scheme": "iid",
+            "alpha": 0.7,
+            "num_clients": 9,
+            "seed": 4,
+            "tag": "other",
+        }
+        assert set(changed) == {f.name for f in dataclasses.fields(RunSpec)}
+        for field_name, value in changed.items():
+            mutated = spec.replace(**{field_name: value})
+            assert mutated.content_hash() != base_hash, field_name
+
+    def test_version_guard(self):
+        payload = _smoke_spec().to_dict()
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            RunSpec.from_dict(payload)
+
+    def test_spec_scale_fields(self):
+        assert spec_scale_fields("demo") == ("demo", {})
+        preset = get_scale("smoke")
+        assert spec_scale_fields(preset) == ("smoke", {})
+        tweaked = preset.with_overrides(num_rounds=9)
+        assert spec_scale_fields(tweaked) == ("smoke", {"num_rounds": 9})
+
+    def test_resolved_scale_overrides(self):
+        spec = _smoke_spec(scale_overrides={"num_rounds": 2})
+        scale = spec.resolved_scale()
+        assert scale.num_rounds == 2
+        assert scale.batch_size == get_scale("smoke").batch_size
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ValueError, match="unknown scale override"):
+            resolve_scale("smoke", {"num_round": 2})
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            resolve_scale("galactic")
+
+    def test_resolved_execution_availability_fallback(self):
+        spec = _smoke_spec(constraints=ConstraintSpec(
+            constraints=("computation",), availability="dropout",
+            availability_kwargs={"prob": 0.1}))
+        execution = spec.resolved_execution()
+        assert execution is not None and execution.availability == "dropout"
+        assert _smoke_spec().resolved_execution() is None
+
+
+class TestRunCache:
+    def test_miss_then_hit_trains_nothing(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _smoke_spec()
+        first = execute_spec(spec, cache=cache)
+        assert not first.from_cache and cache.misses == 1
+        before = simulation.RUN_COUNT
+        second = execute_spec(spec, cache=cache)
+        assert second.from_cache and cache.hits == 1
+        assert simulation.RUN_COUNT == before, \
+            "cache hit must not run a simulation"
+        assert history_to_dict(second.history) == \
+            history_to_dict(first.history)
+        assert second.num_classes == first.num_classes
+        assert second.level_distribution() == first.level_distribution()
+        assert second.scenario is None
+
+    def test_no_cache_always_runs(self, tmp_path):
+        spec = _smoke_spec()
+        before = simulation.RUN_COUNT
+        execute_spec(spec, cache=None)
+        execute_spec(spec, cache=None)
+        assert simulation.RUN_COUNT == before + 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = _smoke_spec()
+        execute_spec(spec, cache=cache)
+        cache.path_for(spec).write_text("{not json")
+        result = execute_spec(spec, cache=cache)
+        assert not result.from_cache
+
+    def test_different_seed_different_entry(self, tmp_path):
+        cache = RunCache(tmp_path)
+        execute_spec(_smoke_spec(), cache=cache)
+        result = execute_spec(_smoke_spec(seed=1), cache=cache)
+        assert not result.from_cache
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_mutating_hooks_require_tag(self, tmp_path):
+        cache = RunCache(tmp_path)
+        with pytest.raises(ValueError, match="tag"):
+            execute_spec(_smoke_spec(), cache=cache,
+                         mutate=lambda algorithm: None)
+
+
+class TestLegacyEquivalence:
+    """The RunSpec path reproduces the pre-RunSpec imperative sequence."""
+
+    def _legacy_run(self, algorithm, dataset_name, spec, scale_name, seed):
+        scale = get_scale(scale_name)
+        dataset = load_dataset(dataset_name, seed=seed,
+                               **scale.kwargs_for(dataset_name))
+        level = get_algorithm(algorithm).level
+        model_level = "width" if level == "homogeneous" else level
+        base_model = build_base_model(dataset, model_level, seed=seed)
+        scenario = build_scenario(
+            algorithm, base_model, dataset, scale.clients_for(dataset_name),
+            spec,
+            train_config=LocalTrainConfig(batch_size=scale.batch_size,
+                                          local_epochs=scale.local_epochs,
+                                          max_batches=scale.max_batches),
+            partition_scheme="auto", alpha=0.5, seed=seed,
+            eval_max_samples=scale.eval_max_samples)
+        execution = None
+        if spec.availability != "always_on":
+            execution = spec.execution_config()
+        sim = SimulationConfig(num_rounds=scale.num_rounds,
+                               sample_ratio=scale.sample_ratio,
+                               eval_every=scale.eval_every, seed=seed,
+                               execution=execution)
+        return run_simulation(scenario.algorithm, sim)
+
+    def test_bit_for_bit_always_on(self):
+        legacy = self._legacy_run("sheterofl", "harbox", SMOKE, "smoke", 0)
+        modern = run_one("sheterofl", "harbox", SMOKE, scale="smoke",
+                         seed=0, cache=None)
+        assert history_to_dict(modern.history) == history_to_dict(legacy)
+
+    def test_bit_for_bit_availability_scenario(self):
+        spec = ConstraintSpec(constraints=("computation",),
+                              availability="dropout",
+                              availability_kwargs={"prob": 0.2})
+        legacy = self._legacy_run("fedepth", "harbox", spec, "smoke", 1)
+        modern = run_one("fedepth", "harbox", spec, scale="smoke", seed=1,
+                         cache=None)
+        assert history_to_dict(modern.history) == history_to_dict(legacy)
+
+
+class TestMultiSeed:
+    def test_run_suite_single_seed_rows_unchanged(self):
+        summaries = run_suite(["sheterofl"], "harbox", SMOKE, scale="smoke",
+                              seed=0, cache=None)
+        row = summaries[0].as_row()
+        assert set(row) == {"algorithm", "dataset", "global_acc", "tta_s",
+                            "stability_var", "effectiveness"}
+        assert summaries[0].num_seeds == 1
+
+    def test_run_suite_seed_sweep(self):
+        summaries = run_suite(["sheterofl"], "harbox", SMOKE, scale="smoke",
+                              seeds=[0, 1], cache=None)
+        summary = summaries[0]
+        assert summary.num_seeds == 2
+        assert summary.global_accuracy_std is not None
+        row = summary.as_row()
+        assert row["seeds"] == 2 and "global_acc_std" in row
+        text = format_table([row])
+        assert "±" in text
+        assert "global_acc_std" not in text.splitlines()[0]
+
+    def test_aggregate_summaries_guards(self):
+        a = MetricSummary("a", "d", 0.5, 10.0, 0.01, 0.1)
+        b = MetricSummary("b", "d", 0.6, None, 0.02, 0.2)
+        assert aggregate_summaries([a]) is a
+        with pytest.raises(ValueError):
+            aggregate_summaries([a, b])
+
+    def test_aggregate_summaries_tta_none_handling(self):
+        rows = [MetricSummary("a", "d", 0.5, None, 0.01, None),
+                MetricSummary("a", "d", 0.7, 20.0, 0.03, None)]
+        merged = aggregate_summaries(rows)
+        assert merged.global_accuracy == pytest.approx(0.6)
+        assert merged.time_to_accuracy_s == pytest.approx(20.0)
+        assert merged.time_to_accuracy_s_std is None
+        assert merged.effectiveness is None
+
+    def test_aggregate_seed_rows(self):
+        per_seed = [[{"algorithm": "a", "accuracy": 0.4}],
+                    [{"algorithm": "a", "accuracy": 0.6}]]
+        merged = aggregate_seed_rows(per_seed, ["accuracy"])
+        assert merged[0]["accuracy"] == pytest.approx(0.5)
+        assert merged[0]["accuracy_std"] is not None
+        assert merged[0]["seeds"] == 2
+
+    def test_aggregate_seed_rows_identity_mismatch(self):
+        per_seed = [[{"algorithm": "a", "accuracy": 0.4}],
+                    [{"algorithm": "b", "accuracy": 0.6}]]
+        with pytest.raises(ValueError, match="identity"):
+            aggregate_seed_rows(per_seed, ["accuracy"])
+
+
+class TestNumClassesPlumbing:
+    def test_run_result_exposes_num_classes(self):
+        result = run_one("sheterofl", "harbox", SMOKE, scale="smoke",
+                         cache=None)
+        scale = get_scale("smoke")
+        dataset = load_dataset("harbox", seed=0,
+                               **scale.kwargs_for("harbox"))
+        assert result.num_classes == dataset.num_classes
+        assert result.scenario.num_classes == dataset.num_classes
+
+    def test_run_suite_loads_dataset_once_per_run(self, monkeypatch):
+        from repro.experiments import runner
+        calls = []
+        original = runner.load_dataset
+
+        def counting(name, **kwargs):
+            calls.append(name)
+            return original(name, **kwargs)
+
+        monkeypatch.setattr(runner, "load_dataset", counting)
+        run_suite(["sheterofl", "fjord"], "harbox", SMOKE, scale="smoke",
+                  cache=None)
+        # 2 algorithms + 1 baseline; no extra reload for num_classes.
+        assert len(calls) == 3
+
+
+class TestRegistry:
+    EXPECTED = {"table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
+                "fig6", "fig7", "fig8", "fig9", "ablations", "async_compare"}
+
+    def test_registry_complete_and_sorted(self):
+        names = artifact_names()
+        assert set(names) == self.EXPECTED
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_every_artifact_lives_in_its_module(self):
+        for name, artifact in all_artifacts().items():
+            assert artifact.module == f"repro.experiments.{name}"
+            assert callable(artifact.run)
+            assert "scale" in artifact.params
+
+    def test_describe_every_artifact(self, capsys):
+        for name in artifact_names():
+            assert cli_main(["describe", name]) == 0
+            out = capsys.readouterr().out
+            assert name in out and "options:" in out
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register_artifact
+
+        def imposter():  # pragma: no cover - registration must fail
+            return []
+
+        imposter.__module__ = "repro.experiments.imposter"
+        with pytest.raises(ValueError, match="already registered"):
+            register_artifact("fig4")(imposter)
+
+
+class TestCLI:
+    def test_parse_int_list(self):
+        assert _parse_int_list("0,1,2") == [0, 1, 2]
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_int_list("0,x")
+
+    def test_run_out_json(self, capsys):
+        assert cli_main(["run", "table3", "--out", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["device"] for r in rows} >= {"jetson_nano"}
+
+    def test_run_out_csv(self, capsys):
+        assert cli_main(["run", "table3", "--out", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("device,")
+
+    def test_unknown_artifact_is_exit_2(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2
+        assert cli_main(["fig99"]) == 2
+
+    def test_deprecated_positional_form(self, capsys):
+        assert cli_main(["table3"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "raspberry_pi_4b" in captured.out
+
+    def test_unsupported_option_warns(self, capsys):
+        assert cli_main(["run", "table3", "--rounds", "3"]) == 0
+        assert "does not support --rounds" in capsys.readouterr().err
+
+    def test_run_with_seeds_and_cache(self, tmp_path, capsys):
+        argv = ["run", "fig4", "--scale", "smoke", "--datasets", "harbox",
+                "--algorithms", "sheterofl", "--seeds", "0", "--out", "json",
+                "--cache-dir", str(tmp_path)]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr()
+        assert "misses=0" not in first.err
+        before = simulation.RUN_COUNT
+        assert cli_main(argv) == 0
+        second = capsys.readouterr()
+        assert simulation.RUN_COUNT == before, \
+            "second CLI invocation must be fully cache-served"
+        assert "misses=0" in second.err
+        assert json.loads(second.out) == json.loads(first.out)
+
+    def test_no_cache_flag_bypasses(self, tmp_path, capsys):
+        argv = ["run", "fig4", "--scale", "smoke", "--datasets", "harbox",
+                "--algorithms", "sheterofl", "--no-cache"]
+        before = simulation.RUN_COUNT
+        assert cli_main(argv) == 0
+        assert simulation.RUN_COUNT > before
+        assert "# cache:" not in capsys.readouterr().err
+
+    def test_direct_module_execution(self, tmp_path):
+        """`python -m repro.experiments.<artifact>` registers the module
+        once as __main__ and once under its real name; that must not trip
+        the duplicate-registration guard."""
+        import pathlib
+        import subprocess
+        import sys
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.table3"],
+            capture_output=True, text=True,
+            cwd=pathlib.Path(__file__).resolve().parent.parent)
+        assert out.returncode == 0, out.stderr
+        assert "raspberry_pi_4b" in out.stdout
+
+    def test_default_cache_restored_after_run(self, tmp_path):
+        from repro.experiments import default_cache
+        sentinel = RunCache(tmp_path / "outer")
+        previous = set_default_cache(sentinel)
+        try:
+            cli_main(["run", "table3", "--cache-dir",
+                      str(tmp_path / "inner")])
+            assert default_cache() is sentinel
+        finally:
+            set_default_cache(previous)
+
+
+class TestReportingWriters:
+    ROWS = [{"a": 1, "b": None}, {"a": 2.5, "b": "x", "c": 3}]
+
+    def test_json_round_trip(self):
+        assert json.loads(rows_to_json(self.ROWS)) == self.ROWS
+
+    def test_csv_union_and_none(self):
+        text = rows_to_csv(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,,"
+
+    def test_write_rows_dispatch(self):
+        assert write_rows(self.ROWS, out="csv").startswith("a,b,c")
+        assert json.loads(write_rows(self.ROWS, out="json")) == self.ROWS
+        with pytest.raises(ValueError):
+            write_rows(self.ROWS, out="yaml")
+
+    def test_format_table_std_merging(self):
+        rows = [{"algorithm": "a", "acc": 0.5, "acc_std": 0.1, "seeds": 2}]
+        text = format_table(rows)
+        assert "0.5 ± 0.1" in text
+        assert "acc_std" not in text
+        # single-seed rows (no std keys) render exactly as before
+        plain = format_table([{"algorithm": "a", "acc": 0.5}])
+        assert "±" not in plain
