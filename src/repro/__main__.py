@@ -7,6 +7,7 @@ Usage::
     python -m repro run fig4 --scale demo --seeds 0,1,2 --out json
     python -m repro run fig6 --datasets cifar100 --algorithms sheterofl,fjord
     python -m repro run fig4 --rounds 10 --availability markov
+    python -m repro run fig4 --workers 4           # same bytes, more cores
 
 Artifacts come from the registry (:mod:`repro.experiments.registry`) —
 every ``@register_artifact`` module is auto-discovered.  Runs are cached
@@ -28,6 +29,7 @@ from .experiments.cache import (DEFAULT_CACHE_DIR, RunCache,
                                 set_default_cache)
 from .experiments.registry import all_artifacts, get_artifact
 from .experiments.reporting import write_rows
+from .experiments.runner import set_default_parallelism
 
 _SUBCOMMANDS = ("list", "describe", "run")
 
@@ -82,6 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           f"(default: {DEFAULT_CACHE_DIR})")
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the run cache entirely")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="parallel workers: sweep cells fan out across a "
+                          "process pool (single cells parallelise their "
+                          "clients instead); results are identical for "
+                          "any N")
+    run.add_argument("--executor", default=None,
+                     choices=("auto", "inline", "thread", "process"),
+                     help="within-cell client executor (default: auto — "
+                          "inline for 1 worker, processes otherwise)")
     return parser
 
 
@@ -177,10 +188,15 @@ def _cmd_run(args) -> int:
     cache = None if args.no_cache else RunCache(args.cache_dir
                                                 or DEFAULT_CACHE_DIR)
     previous = set_default_cache(cache)
+    previous_parallelism = set_default_parallelism(
+        workers=args.workers if args.workers is not None else 1,
+        executor=args.executor or "auto")
     try:
         rows = artifact.run(**kwargs)
     finally:
         set_default_cache(previous)
+        set_default_parallelism(previous_parallelism.workers,
+                                previous_parallelism.executor)
     print(write_rows(rows, out=args.out, title=artifact.title,
                      render=artifact.render, **artifact.render_kwargs))
     if cache is not None:

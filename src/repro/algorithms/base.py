@@ -30,6 +30,7 @@ from .. import autograd as ag
 from ..data.dataset import FederatedDataset, Subset
 from ..fl.client import LocalTrainConfig, train_local
 from ..fl.evaluate import accuracy
+from ..fl.seeding import reseed_dropout
 from ..hw.cost_model import CostModel, DEFAULT_COST_MODEL
 from ..hw.ima import ClientCapability
 from ..hw.model_pool import ModelPool, PoolEntry
@@ -132,6 +133,13 @@ class MHFLAlgorithm:
     #: (DepthFL needs auxiliary heads at every stage boundary).
     base_model_overrides: dict = {}
 
+    #: serialised RunSpec this instance was built from (set by the
+    #: experiment runner; ``None`` for hand-built scenarios).  Process-pool
+    #: executors use it to rebuild an identical replica per worker; it is
+    #: cleared for ablation-mutated runs, whose live object diverges from
+    #: what the spec would rebuild.
+    spec_payload: dict | None = None
+
     def __init__(self, base_model: SliceableModel, dataset: FederatedDataset,
                  clients: Sequence[ClientContext],
                  train_config: LocalTrainConfig | None = None,
@@ -195,9 +203,17 @@ class MHFLAlgorithm:
         return dict(ctx.entry.overrides)
 
     def build_client_model(self, ctx: ClientContext, round_index: int,
-                           rng: np.random.Generator
+                           rng: np.random.Generator,
+                           state: dict | None = None
                            ) -> tuple[SliceableModel, dict]:
-        """Instantiate the client's variant and load its slice of the state."""
+        """Instantiate the client's variant and load its slice of the state.
+
+        ``state`` is the global state to slice from; ``None`` reads the
+        live coordinator state (executors pass the work item's broadcast
+        copy instead, so training never races coordinator aggregation).
+        """
+        if state is None:
+            state = self.global_state
         overrides = self.client_overrides(ctx, round_index, rng)
         model = self.base_model.variant(**overrides)
         maps = width_index_maps(
@@ -205,7 +221,7 @@ class MHFLAlgorithm:
             {k: v.shape for k, v in model.state_dict().items()},
             self.scale_axes, mode=self.slicing_mode,
             shift=self.rolling_shift(round_index))
-        model.load_state_dict(extract_substate(self.global_state, maps))
+        model.load_state_dict(extract_substate(state, maps))
         self.prepare_client_model(model, ctx, round_index)
         return model, maps
 
@@ -273,13 +289,71 @@ class MHFLAlgorithm:
     # through :meth:`run_round`, while the event-driven runtime runs clients
     # at dispatch time and ingests whatever survived availability, dropout
     # and deadline filtering — one code path for all eleven algorithms.
+    #
+    # ``run_client`` is a *pure* function of ``(broadcast, rng)``: it reads
+    # no coordinator state that changes between rounds when a ``broadcast``
+    # is supplied, and every random draw comes from the caller's ``rng``
+    # (derived from ``(run_seed, round, client_id)`` by the execution
+    # layer).  That purity is what lets :mod:`repro.fl.executor` run clients
+    # in threads or processes with results bit-identical to the inline path.
+    # ``pack_broadcast`` / ``pack_client_state`` / ``apply_client_state``
+    # are the transport hooks: what the server sends down, what persistent
+    # per-client state a worker must hand back, and how the coordinator
+    # absorbs it.
+
+    def pack_round_broadcast(self, version: int) -> dict:
+        """The client-independent part of the downlink at ``version``.
+
+        The base payload is a copy of the full global state dict — the
+        worker slices it with the same index maps the inline path uses, so
+        per-round random widths (Fjord) and rolling windows (FedRolex) need
+        no coordinator-side replication.  Copying decouples the snapshot
+        from in-place post-aggregation updates (InclusiveFL), which matters
+        for buffered execution where dispatch and aggregation interleave.
+        Synchronous dispatchers pack this **once per round** and share the
+        (read-only) arrays across every client's work item.
+        """
+        return {"global_state": {k: v.copy()
+                                 for k, v in self.global_state.items()}}
+
+    def pack_client_broadcast(self, client_id: int, version: int) -> dict:
+        """The per-client part of the downlink (FedProto/Fed-ET personal
+        model state); empty for parameter-averaging methods."""
+        return {}
+
+    def pack_broadcast(self, client_id: int, version: int) -> dict:
+        """Full picklable downlink for one client's work item (round part
+        plus per-client part; the buffered policy uses this per dispatch,
+        where every dispatch sees a different server version)."""
+        return {**self.pack_round_broadcast(version),
+                **self.pack_client_broadcast(client_id, version)}
+
+    def pack_client_state(self, client_id: int) -> dict | None:
+        """Persistent per-client state a worker must return to the
+        coordinator after training (``None`` when the algorithm keeps no
+        such state — parameter-averaging methods rebuild client models
+        from the global state every round)."""
+        return None
+
+    def apply_client_state(self, client_id: int, state: dict | None) -> None:
+        """Absorb a worker's returned per-client state (inverse of
+        :meth:`pack_client_state`; no-op for stateless algorithms and for
+        inline execution, where the state was trained in place)."""
 
     def run_client(self, client_id: int, version: int,
-                   rng: np.random.Generator) -> ClientUpdate:
-        """Train one client from the current global state (version
-        ``version``) and package its upload."""
+                   rng: np.random.Generator,
+                   broadcast: dict | None = None) -> ClientUpdate:
+        """Train one client from the global state at version ``version``
+        and package its upload.
+
+        ``broadcast`` is the downlink payload from :meth:`pack_broadcast`;
+        ``None`` reads the live coordinator state (the inline executor's
+        zero-copy path).
+        """
         ctx = self.clients[int(client_id)]
-        model, maps = self.build_client_model(ctx, version, rng)
+        state = None if broadcast is None else broadcast["global_state"]
+        model, maps = self.build_client_model(ctx, version, rng, state=state)
+        reseed_dropout(model, rng)
         loss = train_local(model, ctx.shard.x, ctx.shard.y,
                            self.train_config, rng,
                            loss_fn=self.local_loss_fn(ctx, model))
@@ -300,6 +374,11 @@ class MHFLAlgorithm:
         ``updates`` may be any single-pass iterable — the synchronous round
         streams a generator through so only one client's update is alive at
         a time; the event-driven policies pass materialized buffers.
+
+        Ingestion always happens on the coordinator, in the round's
+        *dispatch* order (never completion order): floating-point
+        accumulation order is part of the result, and dispatch order is the
+        one ordering every executor agrees on.
         """
         sums = zeros_like_state(self.global_state)
         counts = zeros_like_state(self.global_state)
@@ -319,10 +398,30 @@ class MHFLAlgorithm:
             mean_train_loss=float(np.mean(losses)) if losses else 0.0)
 
     def run_round(self, round_index: int, sampled_ids: Sequence[int],
-                  rng: np.random.Generator) -> RoundOutcome:
-        updates = (self.run_client(client_id, round_index, rng)
-                   for client_id in sampled_ids)
-        return self.ingest(updates, round_index, rng)
+                  rng: np.random.Generator,
+                  run_seed: int = 0) -> RoundOutcome:
+        """Convenience synchronous round: train ``sampled_ids`` in order,
+        then aggregate.
+
+        Per-client randomness comes from the canonical
+        ``(run_seed, round, client_id)`` derivation — the same streams the
+        executor-backed loops use — while ``rng`` drives coordinator-side
+        aggregation (e.g. Fed-ET's server distillation).
+        """
+        from ..fl.seeding import client_rng
+
+        def updates():
+            for client_id in sampled_ids:
+                update = self.run_client(client_id, round_index,
+                                         client_rng(run_seed, round_index,
+                                                    client_id))
+                # Absorb persistent per-client state (FedProto/Fed-ET
+                # personal models) just as the executor-backed loops do.
+                self.apply_client_state(client_id,
+                                        self.pack_client_state(client_id))
+                yield update
+
+        return self.ingest(updates(), round_index, rng)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -18,6 +18,7 @@ import numpy as np
 from .. import autograd as ag
 from ..fl.client import train_local
 from ..fl.evaluate import accuracy
+from ..fl.seeding import reseed_dropout
 from ..models.base import SliceableModel
 from .base import ClientContext, ClientUpdate, MHFLAlgorithm, RoundOutcome
 from .fedproto import topology_variant_space
@@ -42,6 +43,9 @@ class FedET(MHFLAlgorithm):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._personal: dict[int, SliceableModel] = {}
+        #: trained-but-not-yet-absorbed states (run_client fills,
+        #: pack_client_state drains; per-client keys are thread-safe).
+        self._trained: dict[int, dict] = {}
         # Server model: the largest family member.
         space = self.variant_space(self.base_model)
         largest_key = list(space)[-1]
@@ -58,17 +62,25 @@ class FedET(MHFLAlgorithm):
         return topology_variant_space(base_model)
 
     # ------------------------------------------------------------------
+    def _build_personal(self, ctx: ClientContext) -> SliceableModel:
+        """A freshly-initialised personal model (deterministic per client)."""
+        model = ctx.entry.build(self.base_model)
+        return model.variant(seed=2000 + ctx.client_id)
+
     def personal_model(self, ctx: ClientContext) -> SliceableModel:
+        """The coordinator's canonical copy of one client's deployed model
+        (advanced only by :meth:`apply_client_state` — ``run_client``
+        trains a detached clone, so state lands when the upload does,
+        identically under every executor)."""
         model = self._personal.get(ctx.client_id)
         if model is None:
-            model = ctx.entry.build(self.base_model)
-            model = model.variant(seed=2000 + ctx.client_id)
+            model = self._build_personal(ctx)
             self._personal[ctx.client_id] = model
         return model
 
     def _client_loss(self, model: SliceableModel,
-                     rng: np.random.Generator):
-        consensus = self._consensus
+                     rng: np.random.Generator,
+                     consensus: np.ndarray | None):
         mu = self.transfer_weight
         x_public = self.x_public
 
@@ -82,12 +94,45 @@ class FedET(MHFLAlgorithm):
 
         return loss
 
-    def run_client(self, client_id: int, version: int, rng) -> ClientUpdate:
+    # ------------------------------------------------------------------
+    # Work-item transport: the downlink is the current consensus plus the
+    # client's persistent personal-model state; the uplink returns the
+    # trained personal state (the server model and its distillation stay
+    # on the coordinator — they belong to ``ingest``).
+    # ------------------------------------------------------------------
+    def pack_round_broadcast(self, version: int) -> dict:
+        return {"consensus": (None if self._consensus is None
+                              else self._consensus.copy())}
+
+    def pack_client_broadcast(self, client_id: int, version: int) -> dict:
         ctx = self.clients[int(client_id)]
-        model = self.personal_model(ctx)
+        return {"personal": self.personal_model(ctx).state_dict()}
+
+    def pack_client_state(self, client_id: int) -> dict | None:
+        return {"personal": self._trained.pop(int(client_id))}
+
+    def apply_client_state(self, client_id: int, state: dict | None) -> None:
+        if state is not None:
+            ctx = self.clients[int(client_id)]
+            self.personal_model(ctx).load_state_dict(state["personal"])
+
+    def run_client(self, client_id: int, version: int, rng,
+                   broadcast: dict | None = None) -> ClientUpdate:
+        ctx = self.clients[int(client_id)]
+        # Train a detached clone; the canonical personal model advances via
+        # apply_client_state when the upload is accepted.
+        model = self._build_personal(ctx)
+        if broadcast is None:
+            model.load_state_dict(self.personal_model(ctx).state_dict())
+            consensus = self._consensus
+        else:
+            model.load_state_dict(broadcast["personal"])
+            consensus = broadcast["consensus"]
+        reseed_dropout(model, rng)
         loss = train_local(model, ctx.shard.x, ctx.shard.y,
                            self.train_config, rng,
-                           loss_fn=self._client_loss(model, rng))
+                           loss_fn=self._client_loss(model, rng, consensus))
+        self._trained[ctx.client_id] = model.state_dict()
         # Client predictions on the public transfer set; confidence
         # weighting makes more certain members count more.
         model.eval()

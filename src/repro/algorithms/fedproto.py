@@ -23,6 +23,7 @@ from .base import (ClientContext, ClientUpdate, MHFLAlgorithm, RoundOutcome,
                    WIDTH_LEVELS)
 from ..fl.client import train_local
 from ..fl.evaluate import accuracy
+from ..fl.seeding import reseed_dropout
 
 __all__ = ["FedProto", "ProtoModel", "topology_variant_space"]
 
@@ -79,6 +80,10 @@ class FedProto(MHFLAlgorithm):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._personal: dict[int, ProtoModel] = {}
+        #: trained-but-not-yet-absorbed states, keyed by client id (filled
+        #: by run_client, drained by pack_client_state; per-client keys, so
+        #: concurrent worker threads never collide).
+        self._trained: dict[int, dict] = {}
         self.global_protos = np.zeros(
             (self.dataset.num_classes, self.proto_dim), dtype=np.float32)
         self._proto_valid = np.zeros(self.dataset.num_classes, dtype=bool)
@@ -88,20 +93,33 @@ class FedProto(MHFLAlgorithm):
         return topology_variant_space(base_model)
 
     # ------------------------------------------------------------------
+    def _build_personal(self, ctx: ClientContext) -> ProtoModel:
+        """A freshly-initialised personal model (deterministic per client)."""
+        backbone = ctx.entry.build(self.base_model)
+        return ProtoModel(backbone, self.proto_dim,
+                          self.dataset.num_classes,
+                          seed=1000 + ctx.client_id)
+
     def personal_model(self, ctx: ClientContext) -> ProtoModel:
+        """The coordinator's canonical copy of one client's deployed model.
+
+        Only :meth:`apply_client_state` advances it — ``run_client`` trains
+        a detached clone, so a client's deployed model updates exactly when
+        its upload is accepted, identically under every executor (an
+        in-flight client evaluated mid-round still shows its old model).
+        """
         model = self._personal.get(ctx.client_id)
         if model is None:
-            backbone = ctx.entry.build(self.base_model)
-            model = ProtoModel(backbone, self.proto_dim,
-                               self.dataset.num_classes,
-                               seed=1000 + ctx.client_id)
+            model = self._build_personal(ctx)
             self._personal[ctx.client_id] = model
         return model
 
-    def _proto_loss(self, model: ProtoModel):
+    def _proto_loss(self, model: ProtoModel,
+                    protos: np.ndarray | None = None,
+                    valid: np.ndarray | None = None):
         weight = self.proto_weight
-        protos = self.global_protos
-        valid = self._proto_valid
+        protos = self.global_protos if protos is None else protos
+        valid = self._proto_valid if valid is None else valid
 
         def loss(m, xb, yb):
             emb = model.embed(xb)
@@ -118,12 +136,48 @@ class FedProto(MHFLAlgorithm):
 
         return loss
 
-    def run_client(self, client_id: int, version: int, rng) -> ClientUpdate:
+    # ------------------------------------------------------------------
+    # Work-item transport: FedProto's downlink is the global prototypes
+    # plus the client's own personal-model state (personal models persist
+    # across rounds on the coordinator; a pool worker's replica is stale
+    # until this broadcast refreshes it).  The uplink hands the trained
+    # personal state back.
+    # ------------------------------------------------------------------
+    def pack_round_broadcast(self, version: int) -> dict:
+        return {"global_protos": self.global_protos.copy(),
+                "proto_valid": self._proto_valid.copy()}
+
+    def pack_client_broadcast(self, client_id: int, version: int) -> dict:
         ctx = self.clients[int(client_id)]
-        model = self.personal_model(ctx)
+        return {"personal": self.personal_model(ctx).state_dict()}
+
+    def pack_client_state(self, client_id: int) -> dict | None:
+        return {"personal": self._trained.pop(int(client_id))}
+
+    def apply_client_state(self, client_id: int, state: dict | None) -> None:
+        if state is not None:
+            ctx = self.clients[int(client_id)]
+            self.personal_model(ctx).load_state_dict(state["personal"])
+
+    def run_client(self, client_id: int, version: int, rng,
+                   broadcast: dict | None = None) -> ClientUpdate:
+        ctx = self.clients[int(client_id)]
+        # Train a detached clone; the canonical personal model advances via
+        # apply_client_state when the upload is accepted (see
+        # personal_model's docstring for why the split matters).
+        model = self._build_personal(ctx)
+        if broadcast is None:
+            model.load_state_dict(self.personal_model(ctx).state_dict())
+            protos, valid = None, None
+        else:
+            model.load_state_dict(broadcast["personal"])
+            protos = broadcast["global_protos"]
+            valid = broadcast["proto_valid"]
+        reseed_dropout(model, rng)
         loss = train_local(model, ctx.shard.x, ctx.shard.y,
                            self.train_config, rng,
-                           loss_fn=self._proto_loss(model))
+                           loss_fn=self._proto_loss(model, protos, valid))
+        self._trained[ctx.client_id] = model.state_dict()
         # Local prototypes: per-class embedding sums + member counts.
         with ag.no_grad():
             model.eval()

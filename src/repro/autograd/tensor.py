@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -42,28 +43,33 @@ from . import profiler
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is *per thread*: the parallel client executor trains one client
+# per worker thread, and a ``no_grad()`` block in one client's round (e.g.
+# FedProto's prototype extraction) must not stop a concurrently-training
+# client from recording its backward tape.
+_GRAD_STATE = threading.local()
 
 # Creation-order sequence numbers; parents always precede children, so
 # sorting any reachable set by ``_seq`` yields a valid topological order.
+# (``itertools.count`` is atomic under the GIL, so one shared sequence is
+# safe across worker threads — ordering only needs to be monotonic.)
 _SEQ = itertools.count()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (eval / inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = getattr(_GRAD_STATE, "enabled", True)
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations should record the backward tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -169,7 +175,8 @@ class Tensor:
         """
         if profiler.profiling_active():
             profiler.add_activation_bytes(data.nbytes)
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = (getattr(_GRAD_STATE, "enabled", True)
+                 and any(p.requires_grad for p in parents))
         out = Tensor(data, requires_grad=needs)
         if needs:
             out._parents = tuple(parents)

@@ -19,8 +19,10 @@ from .registry import (Artifact, all_artifacts, artifact_names, get_artifact,
                        register_artifact)
 from .reporting import (aggregate_seed_rows, format_radar, format_table,
                         rows_to_csv, rows_to_json, write_rows)
-from .runner import (RunResult, execute_spec, prepare_scenario,
-                     resolve_target_accuracy, run_one, run_suite)
+from .runner import (Parallelism, RunResult, build_worker_scenario,
+                     default_parallelism, execute_spec, execute_specs,
+                     prepare_scenario, resolve_target_accuracy, run_one,
+                     run_suite, set_default_parallelism)
 from .scales import SCALES, ExperimentScale, get_scale, resolve_scale
 from .spec import RunSpec
 
@@ -30,8 +32,10 @@ __all__ = [
     "base_arch_for", "build_base_model",
     "aggregate_seed_rows", "format_radar", "format_table",
     "rows_to_csv", "rows_to_json", "write_rows",
-    "RunResult", "RunSpec", "execute_spec", "prepare_scenario",
+    "RunResult", "RunSpec", "execute_spec", "execute_specs",
+    "prepare_scenario", "build_worker_scenario",
     "resolve_target_accuracy", "run_one", "run_suite",
+    "Parallelism", "default_parallelism", "set_default_parallelism",
     "RunCache", "default_cache", "set_default_cache",
     "Artifact", "all_artifacts", "artifact_names", "get_artifact",
     "register_artifact",

@@ -82,10 +82,13 @@ def run(scale: str = "demo", seed: int = 0,
         ablated = _run_variant(algorithm, dataset, scale, seed, mutate,
                                tag=f"ablation:{name}",
                                scale_overrides=scale_overrides)
+        acc_full, acc_ablated = round(full, 4), round(ablated, 4)
         rows.append({"ablation": name, "dataset": dataset,
-                     "acc_full": round(full, 4),
-                     "acc_ablated": round(ablated, 4),
-                     "mechanism_gain": round(full - ablated, 4),
+                     "acc_full": acc_full,
+                     "acc_ablated": acc_ablated,
+                     # derived from the *rounded* fields so the row is
+                     # self-consistent at any rounding boundary.
+                     "mechanism_gain": round(acc_full - acc_ablated, 4),
                      "description": description})
     return rows
 

@@ -16,7 +16,10 @@ explicit :class:`RunCache` (or ``None``) to any runner entry point.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -87,7 +90,15 @@ class RunCache:
     def put(self, spec: "RunSpec", history: "History",
             num_classes: int | None = None,
             level_distribution: dict | None = None) -> Path:
-        """Persist a finished run; returns the entry path."""
+        """Persist a finished run; returns the entry path.
+
+        Concurrency-safe: the payload goes to a *uniquely named* temp file
+        in the cache directory, then an atomic rename publishes it.
+        Parallel sweep cells (multiple processes writing the shared cache)
+        can therefore never interleave bytes or expose a half-written
+        entry; same-cell racers each publish a complete, identical file
+        and the last rename wins.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
         payload = {
@@ -97,9 +108,22 @@ class RunCache:
             "level_distribution": dict(level_distribution or {}),
             "history": history_to_dict(history),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=1))
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=f".{path.stem}-",
+                                        suffix=".tmp")
+        try:
+            # mkstemp creates 0600; published entries should get the usual
+            # umask-governed mode so shared cache dirs stay shareable.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(fd, 0o666 & ~umask)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, indent=1))
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

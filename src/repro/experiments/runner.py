@@ -9,12 +9,24 @@ thin wrappers; :func:`run_suite` additionally sweeps seeds
 (``seeds=[0, 1, 2]``) into mean±std :class:`~repro.metrics.MetricSummary`
 rows.  Everything scale-dependent comes from
 :mod:`repro.experiments.scales`.
+
+Parallelism enters at two granularities, both with byte-identical results:
+
+* **within a cell** — ``RunSpec.workers``/``executor`` (or the process
+  default from :func:`set_default_parallelism`, which the CLI's
+  ``--workers`` sets) hand client training to a thread/process pool via
+  :mod:`repro.fl.executor`;
+* **across cells** — :func:`execute_specs` fans independent sweep cells
+  (``run_suite`` grids, multi-seed sweeps) out over a process pool; each
+  worker writes the shared run cache through atomic renames, and cells
+  run inline internally so the machine is never oversubscribed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Callable, Sequence
 
 from ..algorithms import get_algorithm
 from ..constraints import BuiltScenario, ConstraintSpec, build_scenario
@@ -23,6 +35,7 @@ from ..data.registry import load_dataset
 from ..fl.aggregation import ExecutionConfig
 from ..fl.client import LocalTrainConfig
 from ..fl.history import History
+from ..fl.serialization import history_from_dict, history_to_dict
 from ..fl.simulation import SimulationConfig, run_simulation
 from ..metrics import MetricSummary, aggregate_summaries, summarize
 from .cache import RunCache, default_cache
@@ -30,8 +43,10 @@ from .mapping import build_base_model
 from .scales import ExperimentScale, get_scale
 from .spec import RunSpec, spec_scale_fields
 
-__all__ = ["RunResult", "execute_spec", "prepare_scenario", "run_one",
-           "run_suite", "resolve_target_accuracy", "DEFAULT"]
+__all__ = ["RunResult", "execute_spec", "execute_specs", "prepare_scenario",
+           "build_worker_scenario", "run_one", "run_suite",
+           "resolve_target_accuracy", "DEFAULT", "Parallelism",
+           "default_parallelism", "set_default_parallelism"]
 
 
 class _Default:
@@ -46,6 +61,43 @@ DEFAULT = _Default()
 
 def _resolve_cache(cache) -> RunCache | None:
     return default_cache() if isinstance(cache, _Default) else cache
+
+
+# ----------------------------------------------------------------------
+# Process-wide parallelism default (the CLI's --workers sets it)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Parallelism:
+    """How runs parallelise when a spec doesn't say (mechanics only —
+    results are identical at any setting)."""
+
+    workers: int = 1
+    executor: str = "auto"
+
+
+_DEFAULT_PARALLELISM = Parallelism()
+
+
+def default_parallelism() -> Parallelism:
+    return _DEFAULT_PARALLELISM
+
+
+def set_default_parallelism(workers: int = 1,
+                            executor: str = "auto") -> Parallelism:
+    """Install the process-wide parallelism default; returns the previous
+    value (mirror of :func:`repro.experiments.cache.set_default_cache`)."""
+    global _DEFAULT_PARALLELISM
+    previous = _DEFAULT_PARALLELISM
+    _DEFAULT_PARALLELISM = Parallelism(workers=max(1, int(workers)),
+                                       executor=executor)
+    return previous
+
+
+def _resolve_parallelism(workers: int | None,
+                         executor: str | None) -> tuple[int, str]:
+    default = default_parallelism()
+    return (default.workers if workers is None else max(1, int(workers)),
+            default.executor if executor is None else executor)
 
 
 @dataclass
@@ -82,15 +134,21 @@ def _train_config(scale: ExperimentScale) -> LocalTrainConfig:
                             max_batches=scale.max_batches)
 
 
-def prepare_scenario(spec: RunSpec) -> tuple[BuiltScenario, FederatedDataset]:
+def prepare_scenario(spec: RunSpec, dataset_loader: Callable | None = None
+                     ) -> tuple[BuiltScenario, FederatedDataset]:
     """Build (but do not run) the scenario a spec describes.
 
     The build order is the historical ``run_one`` order — dataset, base
     model, scenario — so specs reproduce pre-RunSpec runs bit-for-bit.
+    The built algorithm carries ``spec.to_dict()`` as its
+    ``spec_payload``, which is what lets process-pool executors rebuild an
+    identical replica per worker.  ``dataset_loader`` overrides the
+    dataset source (the worker path passes a memoising loader).
     """
     scale = spec.resolved_scale()
-    dataset = load_dataset(spec.dataset, seed=spec.seed,
-                           **scale.kwargs_for(spec.dataset))
+    loader = dataset_loader if dataset_loader is not None else load_dataset
+    dataset = loader(spec.dataset, seed=spec.seed,
+                     **scale.kwargs_for(spec.dataset))
     level = get_algorithm(spec.algorithm).level
     model_level = "width" if level == "homogeneous" else level
     base_model = build_base_model(dataset, model_level, seed=spec.seed)
@@ -100,7 +158,43 @@ def prepare_scenario(spec: RunSpec) -> tuple[BuiltScenario, FederatedDataset]:
         train_config=_train_config(scale),
         partition_scheme=spec.partition_scheme, alpha=spec.alpha,
         seed=spec.seed, eval_max_samples=scale.eval_max_samples)
+    scenario.algorithm.spec_payload = spec.to_dict()
     return scenario, dataset
+
+
+# ----------------------------------------------------------------------
+# Pool-worker scenario rebuilds
+# ----------------------------------------------------------------------
+#: per-process dataset memo for worker-side rebuilds: sweeps run many
+#: (algorithm × constraint × seed) cells over few datasets, so a worker
+#: that rebuilds scenarios should not regenerate the arrays every time.
+_WORKER_DATASETS: dict[str, FederatedDataset] = {}
+_WORKER_DATASET_LIMIT = 4
+
+
+def _memoised_load_dataset(name: str, seed: int = 0, **kwargs):
+    import json
+    key = json.dumps([name, seed, kwargs], sort_keys=True, default=str)
+    dataset = _WORKER_DATASETS.get(key)
+    if dataset is None:
+        while len(_WORKER_DATASETS) >= _WORKER_DATASET_LIMIT:
+            # Oldest-first eviction (insertion order), one entry at a time.
+            _WORKER_DATASETS.pop(next(iter(_WORKER_DATASETS)))
+        dataset = load_dataset(name, seed=seed, **kwargs)
+        _WORKER_DATASETS[key] = dataset
+    return dataset
+
+
+def build_worker_scenario(payload: dict) -> BuiltScenario:
+    """Rebuild the scenario a work item references, inside a pool worker.
+
+    Deterministic by construction — the payload is the spec's canonical
+    dict form, and every build step is seeded — so the replica's clients,
+    shards and initial models are bit-identical to the coordinator's.
+    Datasets are memoised per process (see ``_memoised_load_dataset``).
+    """
+    return prepare_scenario(RunSpec.from_dict(payload),
+                            dataset_loader=_memoised_load_dataset)[0]
 
 
 def execute_spec(spec: RunSpec, *, cache=DEFAULT,
@@ -129,15 +223,20 @@ def execute_spec(spec: RunSpec, *, cache=DEFAULT,
     scale = spec.resolved_scale()
     scenario, dataset = prepare_scenario(spec)
     if mutate is not None:
+        # The live object now diverges from what the spec would rebuild,
+        # so process-pool workers must not rebuild from it.
         mutate(scenario.algorithm)
+        scenario.algorithm.spec_payload = None
     if execution_factory is not None:
         execution = execution_factory(scenario)
     else:
         execution = spec.resolved_execution()
+    workers, executor_kind = _resolve_parallelism(spec.workers, spec.executor)
     sim = SimulationConfig(num_rounds=scale.num_rounds,
                            sample_ratio=scale.sample_ratio,
                            eval_every=scale.eval_every, seed=spec.seed,
-                           execution=execution)
+                           execution=execution,
+                           workers=workers, executor=executor_kind)
     history = run_simulation(scenario.algorithm, sim)
     result = RunResult(history=history, scenario=scenario,
                        num_classes=dataset.num_classes, spec=spec)
@@ -147,20 +246,94 @@ def execute_spec(spec: RunSpec, *, cache=DEFAULT,
     return result
 
 
+def _execute_spec_payload(payload: dict, cache_dir: str | None) -> dict:
+    """Sweep-pool worker: execute one spec, return a picklable result.
+
+    Runs in its own process with the parallelism default reset to one
+    worker, so the cell executes inline — sweep fan-out and within-cell
+    pools never nest.  (The reset is explicit because fork-start pools
+    inherit the parent's module globals, including a CLI-set default.)
+    The worker writes the shared cache itself (atomic renames make the
+    concurrent writes safe) and ships the history back for the parent.
+    """
+    set_default_parallelism(1, "auto")
+    # to_dict strips parallelism fields, so the rebuilt spec inherits the
+    # (reset) default; the explicit replace makes the no-nesting invariant
+    # hold even for hand-authored payloads that smuggle a workers key in.
+    spec = RunSpec.from_dict(payload).replace(workers=1, executor="inline")
+    cache = RunCache(cache_dir) if cache_dir is not None else None
+    result = execute_spec(spec, cache=cache)
+    return {
+        "history": history_to_dict(result.history),
+        "num_classes": result.num_classes,
+        "level_distribution": result.level_distribution(),
+        "from_cache": result.from_cache,
+    }
+
+
+def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
+                  workers: int | None = None,
+                  executor: str | None = None) -> list[RunResult]:
+    """Execute a sweep of independent cells, fanning out across processes.
+
+    With one worker (the default when :func:`set_default_parallelism` was
+    never called) this is exactly ``[execute_spec(s) for s in specs]``.
+    With more, whole cells run in a process pool: each worker rebuilds its
+    cell, consults/writes the shared run cache (atomic renames keep
+    concurrent writes safe), and returns the history.  Cells are
+    independent and deterministic, so the results — and the cache entries
+    they leave behind — are identical to the sequential sweep, in the
+    input order.
+
+    Cells with live hooks (``mutate``/``execution_factory``) cannot cross
+    a process boundary; route those through :func:`execute_spec`.
+    """
+    specs = list(specs)
+    cache = _resolve_cache(cache)
+    sweep_workers, kind = _resolve_parallelism(workers, executor)
+    if sweep_workers <= 1 or len(specs) <= 1 or kind == "inline":
+        return [execute_spec(spec, cache=cache) for spec in specs]
+
+    cache_dir = None if cache is None else str(cache.directory)
+    results: list[RunResult] = []
+    with ProcessPoolExecutor(
+            max_workers=min(sweep_workers, len(specs))) as pool:
+        futures = [pool.submit(_execute_spec_payload,
+                               spec.to_dict(), cache_dir)
+                   for spec in specs]
+        for spec, future in zip(specs, futures):
+            payload = future.result()
+            if cache is not None:
+                # Keep the parent's hit/miss counters meaningful: the
+                # worker did the lookup, the parent reports it.
+                if payload["from_cache"]:
+                    cache.hits += 1
+                else:
+                    cache.misses += 1
+            results.append(RunResult(
+                history=history_from_dict(payload["history"]),
+                scenario=None, num_classes=payload["num_classes"],
+                spec=spec, from_cache=payload["from_cache"],
+                _cached_levels=dict(payload["level_distribution"])))
+    return results
+
+
 def run_one(algorithm: str, dataset_name: str, spec: ConstraintSpec,
             scale: str | ExperimentScale = "demo", seed: int = 0,
             partition_scheme: str = "auto", alpha: float = 0.5,
             num_clients: int | None = None,
             execution: ExecutionConfig | None = None,
             scale_overrides: dict | None = None,
-            cache=DEFAULT) -> RunResult:
+            cache=DEFAULT, workers: int | None = None,
+            executor: str | None = None) -> RunResult:
     """Run one algorithm on one dataset under one constraint case.
 
     Back-compat wrapper over :func:`execute_spec`: the arguments are packed
     into a :class:`RunSpec`, so the run is cacheable and addressable.
     ``execution`` selects the event-driven runtime; when omitted, a spec
     with a non-trivial availability scenario still routes through the event
-    engine so the scenario is honoured.
+    engine so the scenario is honoured.  ``workers``/``executor`` select
+    within-cell client parallelism (results identical at any setting).
     """
     scale_name, packed_overrides = spec_scale_fields(scale)
     packed_overrides.update(scale_overrides or {})
@@ -169,7 +342,8 @@ def run_one(algorithm: str, dataset_name: str, spec: ConstraintSpec,
                        scale_overrides=packed_overrides,
                        execution=execution,
                        partition_scheme=partition_scheme, alpha=alpha,
-                       num_clients=num_clients, seed=seed)
+                       num_clients=num_clients, seed=seed,
+                       workers=workers, executor=executor)
     return execute_spec(run_spec, cache=cache)
 
 
@@ -194,7 +368,8 @@ def run_suite(algorithms: list[str], dataset_name: str, spec: ConstraintSpec,
               with_baseline: bool = True,
               seeds: list[int] | None = None,
               scale_overrides: dict | None = None,
-              cache=DEFAULT) -> list[MetricSummary]:
+              cache=DEFAULT, workers: int | None = None,
+              executor: str | None = None) -> list[MetricSummary]:
     """Run a set of algorithms plus the effectiveness baseline.
 
     Returns one :class:`MetricSummary` per algorithm.  Within each seed all
@@ -202,20 +377,35 @@ def run_suite(algorithms: list[str], dataset_name: str, spec: ConstraintSpec,
     FedAvg-smallest baseline; ``seeds=[0, 1, 2]`` sweeps the whole suite
     and aggregates each algorithm's per-seed summaries into mean±std form
     (``seeds`` takes precedence over the scalar ``seed``).
-    """
-    per_algorithm: dict[str, list[MetricSummary]] = {n: [] for n in algorithms}
-    for one_seed in (seeds if seeds else [seed]):
-        results = {name: run_one(name, dataset_name, spec, scale, one_seed,
-                                 partition_scheme, alpha, num_clients,
-                                 scale_overrides=scale_overrides, cache=cache)
-                   for name in algorithms}
-        baseline_history = None
-        if with_baseline:
-            baseline_history = run_one(
-                "fedavg_smallest", dataset_name, spec, scale, one_seed,
-                partition_scheme, alpha, num_clients,
-                scale_overrides=scale_overrides, cache=cache).history
 
+    The whole (algorithm + baseline) × seed grid is one
+    :func:`execute_specs` sweep, so with ``workers`` (or the process-wide
+    parallelism default) above one, independent cells fan out across a
+    process pool; summaries are computed afterwards on identical results.
+    """
+    scale_name, packed_overrides = spec_scale_fields(scale)
+    packed_overrides.update(scale_overrides or {})
+    seed_list = list(seeds) if seeds else [seed]
+    # Order-preserving dedupe: with the baseline also listed explicitly in
+    # ``algorithms`` the cell would otherwise be submitted to the pool
+    # twice and computed twice in parallel (a sequential run would have
+    # served the repeat from the cache).
+    names = list(dict.fromkeys(
+        list(algorithms) + (["fedavg_smallest"] if with_baseline else [])))
+    grid = [RunSpec(algorithm=name, dataset=dataset_name, constraints=spec,
+                    scale=scale_name, scale_overrides=packed_overrides,
+                    partition_scheme=partition_scheme, alpha=alpha,
+                    num_clients=num_clients, seed=one_seed)
+            for one_seed in seed_list for name in names]
+    sweep = execute_specs(grid, cache=cache, workers=workers,
+                          executor=executor)
+    by_cell = {(res.spec.algorithm, res.spec.seed): res for res in sweep}
+
+    per_algorithm: dict[str, list[MetricSummary]] = {n: [] for n in algorithms}
+    for one_seed in seed_list:
+        results = {name: by_cell[(name, one_seed)] for name in algorithms}
+        baseline_history = (by_cell[("fedavg_smallest", one_seed)].history
+                            if with_baseline else None)
         num_classes = next(iter(results.values())).num_classes
         target = resolve_target_accuracy(
             [r.history for r in results.values()], num_classes)

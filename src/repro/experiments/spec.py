@@ -23,7 +23,6 @@ hash stays faithful.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field, replace as _dc_replace
 
@@ -76,6 +75,13 @@ class RunSpec:
     #: marks out-of-spec behaviour changes (ablation mutations, derived
     #: execution configs) so they cache under their own hash.
     tag: str = ""
+    #: client-work parallelism for this cell (``None`` inherits the
+    #: process default set by :func:`repro.experiments.runner.
+    #: set_default_parallelism`).  Parallelism cannot change results — the
+    #: executor determinism contract — so neither field is serialised or
+    #: hashed: the same cell caches identically at any worker count.
+    workers: int | None = None
+    executor: str | None = None    # "auto" | "inline" | "thread" | "process"
 
     # ------------------------------------------------------------------
     # Resolution
@@ -109,7 +115,13 @@ class RunSpec:
     # Serialisation + content addressing
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        """JSON-safe dict; inverse of :meth:`from_dict`.
+
+        ``workers``/``executor`` are deliberately absent: they are
+        execution mechanics with no effect on results, so specs differing
+        only in parallelism serialise, hash and cache identically
+        (:meth:`from_dict` tolerates payloads that carry them anyway).
+        """
         return {
             "version": SPEC_VERSION,
             "algorithm": self.algorithm,
@@ -152,11 +164,12 @@ class RunSpec:
 
         Stable across processes and sessions: the canonical form sorts keys
         and uses compact separators, so two equal specs always share a hash
-        and any field change produces a new one.
+        and any field change produces a new one.  The digest function is
+        shared with :class:`repro.fl.executor.ScenarioHandle`, so run-cache
+        entries and pool-worker scenario caches key identically.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+        from ..fl.executor import spec_content_digest
+        return spec_content_digest(self.to_dict())
 
     @property
     def label(self) -> str:

@@ -16,10 +16,16 @@ from .availability import (AvailabilityModel, AlwaysOn, DiurnalSine,
 from .aggregation import (ExecutionConfig, AggregationPolicy,
                           SynchronousPolicy, BufferedPolicy,
                           AGGREGATION_POLICIES, make_policy)
+from .executor import (ScenarioHandle, ClientWorkItem, ClientResult,
+                       execute_work_item, Executor, InlineExecutor,
+                       ThreadExecutor, ProcessExecutor, EXECUTORS,
+                       make_executor, ExecutorError)
+from .seeding import client_seed_key, client_rng, reseed_dropout
 from .simulation import (SimulationConfig, run_simulation,
                          run_event_simulation, sample_clients)
 from .serialization import (history_to_dict, history_from_dict, save_history,
-                            load_history)
+                            load_history, client_update_to_dict,
+                            client_update_from_dict)
 
 __all__ = [
     "LocalTrainConfig", "train_local", "make_optimizer",
@@ -30,7 +36,12 @@ __all__ = [
     "RandomDropout", "AVAILABILITY_MODELS", "make_availability",
     "ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
     "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
+    "ScenarioHandle", "ClientWorkItem", "ClientResult", "execute_work_item",
+    "Executor", "InlineExecutor", "ThreadExecutor", "ProcessExecutor",
+    "EXECUTORS", "make_executor", "ExecutorError",
+    "client_seed_key", "client_rng", "reseed_dropout",
     "SimulationConfig", "run_simulation", "run_event_simulation",
     "sample_clients",
     "history_to_dict", "history_from_dict", "save_history", "load_history",
+    "client_update_to_dict", "client_update_from_dict",
 ]

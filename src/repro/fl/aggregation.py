@@ -17,11 +17,13 @@ AISTATS'22):
 
 Both drive the same :class:`~repro.fl.events.EventQueue` and the same
 per-client algorithm primitives (``run_client`` / ``ingest``), so every
-algorithm in the registry works under every policy unchanged.  Client
-training executes eagerly at dispatch time — the global state a client
-downloads is the server state at its dispatch timestamp, which is exactly
-what staleness means — while the queue orders arrivals, drops and
-aggregations on the simulated clock.
+algorithm in the registry works under every policy unchanged.  Client work
+is *snapshotted* at dispatch time — the state a client downloads is the
+server state at its dispatch timestamp, which is exactly what staleness
+means — and handed to a pluggable :class:`~repro.fl.executor.Executor`
+(inline, thread pool or process pool); the queue orders arrivals, drops
+and aggregations on the simulated clock, so the History is identical for
+any worker count.
 """
 
 from __future__ import annotations
@@ -35,6 +37,8 @@ from .availability import AvailabilityModel, make_availability
 from .events import (CLIENT_DROPPED, DOWNLOAD_START, EVAL_TICK,
                      SERVER_AGGREGATE, TRAIN_COMPLETE, UPLOAD_COMPLETE,
                      Event, EventQueue)
+from .executor import (EXECUTOR_KINDS, Executor, InlineExecutor,
+                       make_work_item)
 from .history import History, RoundRecord
 
 __all__ = ["ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
@@ -74,6 +78,14 @@ class ExecutionConfig:
     availability_seed: int | None = None
     #: attach per-event timelines to each RoundRecord.
     record_events: bool = True
+    #: client-work parallelism (see :mod:`repro.fl.executor`).  Purely a
+    #: *mechanical* setting: results are identical for any worker count,
+    #: so neither field is serialised by :meth:`to_dict` — the same cell
+    #: hashes (and caches) the same however it is parallelised.  ``None``
+    #: inherits the ``SimulationConfig`` setting; an explicit value
+    #: (including ``workers=1``) always wins.
+    workers: int | None = None
+    executor: str | None = None
 
     def __post_init__(self):
         if self.policy not in AGGREGATION_POLICIES:
@@ -83,6 +95,11 @@ class ExecutionConfig:
             raise ValueError("buffer_size must be >= 1")
         if self.over_select < 0:
             raise ValueError("over_select must be >= 0")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             f"known: {EXECUTOR_KINDS}")
 
     def build_availability(self, num_clients: int,
                            sim_seed: int) -> AvailabilityModel:
@@ -95,7 +112,14 @@ class ExecutionConfig:
     # Serialisation (stable JSON-safe form; used by RunSpec hashing)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        """JSON-safe dict; inverse of :meth:`from_dict`.
+
+        ``workers``/``executor`` are deliberately omitted: they cannot
+        change results (the executor determinism contract), so two
+        configs differing only in parallelism serialise — and content-hash
+        — identically.  :meth:`from_dict` still accepts payloads that
+        carry them.
+        """
         return {
             "policy": self.policy,
             "availability": self.availability,
@@ -120,10 +144,14 @@ class AggregationPolicy:
     name = "base"
 
     def __init__(self, sim_config, execution: ExecutionConfig,
-                 availability: AvailabilityModel):
+                 availability: AvailabilityModel,
+                 executor: Executor | None = None):
         self.sim_config = sim_config
         self.execution = execution
         self.availability = availability
+        #: client-work executor; ``None`` falls back to inline execution
+        #: bound to the algorithm at :meth:`run` time.
+        self.executor = executor
         self.queue = EventQueue()
         self.timeline: list[Event] = []
         #: per-client count of accepted dispatches so far.
@@ -147,6 +175,13 @@ class AggregationPolicy:
         k = self._participation.get(client_id, 0)
         self._participation[client_id] = k + 1
         return k
+
+    def _executor_for(self, algorithm) -> Executor:
+        """The run's executor (an inline one bound to ``algorithm`` when
+        none was injected)."""
+        if self.executor is None:
+            self.executor = InlineExecutor(algorithm)
+        return self.executor
 
     def sample_size(self, num_clients: int) -> int:
         return sample_count(num_clients, self.sim_config.sample_ratio)
@@ -242,8 +277,17 @@ class SynchronousPolicy(AggregationPolicy):
                         start_s: float, rng: np.random.Generator):
         """Train the round's clients and play their events through the
         queue; returns (received updates, round duration before server
-        overhead, drop counters)."""
+        overhead, drop counters).
+
+        Three phases: (1) decide each client's fate on the coordinator
+        (availability draws must happen in dispatch order); (2) run every
+        surviving client's work item through the executor as one batch;
+        (3) schedule their train/upload events.  Phase 2 is where worker
+        parallelism happens — the decisions and the queue never leave the
+        coordinator, so the round is deterministic for any worker count.
+        """
         execution = self.execution
+        executor = self._executor_for(algorithm)
         deadline = (execution.deadline_s if execution.deadline_s is not None
                     else math.inf)
         #: updates kept in dispatch order — a synchronous server treats the
@@ -253,12 +297,15 @@ class SynchronousPolicy(AggregationPolicy):
         drops = {"dropout": 0, "churn": 0, "deadline": 0}
         duration = 0.0
         dispatch_order = {int(cid): i for i, cid in enumerate(sampled)}
+        to_train: list[int] = []
+        timings: dict[int, tuple[float, float]] = {}
 
         for client_id in sampled:
             cid = int(client_id)
             ctx = algorithm.clients[cid]
             down, train, up = algorithm.client_time_segments(ctx)
             total = algorithm.client_round_time_s(ctx)
+            timings[cid] = (down + train, total)
             self.queue.push(Event(start_s, DOWNLOAD_START, cid,
                                   info={"round": round_index}))
             if self.availability.drops_round(cid,
@@ -279,11 +326,21 @@ class SynchronousPolicy(AggregationPolicy):
                 self.queue.push(Event(start_s + total, UPLOAD_COMPLETE, cid,
                                       info={"late": True}))
                 continue
-            update = algorithm.run_client(cid, round_index, rng)
-            self.queue.push(Event(start_s + down + train, TRAIN_COMPLETE,
-                                  cid))
+            to_train.append(cid)
+
+        shared = (algorithm.pack_round_broadcast(round_index)
+                  if executor.needs_broadcast else None)
+        items = [make_work_item(algorithm, cid, round_index,
+                                self.sim_config.seed,
+                                executor.needs_broadcast,
+                                shared_broadcast=shared)
+                 for cid in to_train]
+        for cid, result in zip(to_train, executor.run_batch(items)):
+            algorithm.apply_client_state(cid, result.client_state)
+            trained_at, total = timings[cid]
+            self.queue.push(Event(start_s + trained_at, TRAIN_COMPLETE, cid))
             self.queue.push(Event(start_s + total, UPLOAD_COMPLETE, cid,
-                                  info={"update": update}))
+                                  info={"update": result.update}))
 
         while self.queue:
             event = self.emit(self.queue.pop())
@@ -317,6 +374,12 @@ class BufferedPolicy(AggregationPolicy):
         self._all_ids = sorted(algorithm.clients)
         self._in_flight: set[int] = set()
         self._dispatches = 0
+        #: per-(version, client) dispatch counts: a client re-dispatched at
+        #: an unchanged server version must train a *fresh* seed-derived
+        #: draw, not a bit-identical replay of its previous round (same
+        #: broadcast + same (seed, version, client) triple would otherwise
+        #: double-weight one gradient in the buffer).
+        self._version_dispatches: dict[tuple[int, int], int] = {}
         self._retry_pending = False
         self._concurrency = (execution.max_concurrency
                              or self.sample_size(len(self._all_ids)))
@@ -348,7 +411,9 @@ class BufferedPolicy(AggregationPolicy):
                 continue
 
             self._in_flight.discard(event.client_id)
-            update = event.info.pop("update")
+            result = event.info.pop("future").result()
+            algorithm.apply_client_state(event.client_id, result.client_state)
+            update = result.update
             update.staleness = version - update.version
             update.discount = float(
                 (1.0 + update.staleness) ** -execution.staleness_exponent)
@@ -389,6 +454,19 @@ class BufferedPolicy(AggregationPolicy):
             version += 1
             if self.should_stop(acc):
                 break
+
+        # Updates still in flight when the run ends are never aggregated,
+        # but their training *happened* — a trained result exists for
+        # every in-flight item under every executor — so absorb their
+        # client state here, keeping final per-device accuracies identical
+        # across executors.
+        while self.queue:
+            event = self.queue.pop()
+            future = event.info.pop("future", None)
+            if future is not None:
+                result = future.result()
+                algorithm.apply_client_state(event.client_id,
+                                             result.client_state)
 
         # Drops accrued after the last aggregation would otherwise vanish;
         # fold them into the final record so dropped_counts() stays honest.
@@ -447,10 +525,20 @@ class BufferedPolicy(AggregationPolicy):
                                   CLIENT_DROPPED, cid,
                                   info={"reason": "churn"}))
             return True
-        update = algorithm.run_client(cid, version, rng)
+        # Submit the work item now — the broadcast snapshot taken at this
+        # instant *is* the staleness semantics (the client downloads the
+        # server state at its dispatch timestamp) — and resolve the future
+        # when the upload event fires on the simulated clock.
+        executor = self._executor_for(algorithm)
+        repeat = self._version_dispatches.get((version, cid), 0)
+        self._version_dispatches[(version, cid)] = repeat + 1
+        item = make_work_item(algorithm, cid, version, self.sim_config.seed,
+                              executor.needs_broadcast,
+                              dispatch_index=repeat)
+        future = executor.submit(item)
         self.queue.push(Event(now + down + train, TRAIN_COMPLETE, cid))
         self.queue.push(Event(now + total, UPLOAD_COMPLETE, cid,
-                              info={"update": update}))
+                              info={"future": future}))
         return True
 
 
@@ -461,7 +549,8 @@ AGGREGATION_POLICIES: dict[str, type[AggregationPolicy]] = {
 
 
 def make_policy(sim_config, execution: ExecutionConfig,
-                availability: AvailabilityModel) -> AggregationPolicy:
+                availability: AvailabilityModel,
+                executor: Executor | None = None) -> AggregationPolicy:
     """Instantiate the execution block's aggregation policy."""
     cls = AGGREGATION_POLICIES[execution.policy]
-    return cls(sim_config, execution, availability)
+    return cls(sim_config, execution, availability, executor=executor)

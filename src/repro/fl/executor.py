@@ -1,0 +1,376 @@
+"""Pluggable client-work executors: inline, thread pool, process pool.
+
+The simulation layer never trains a client directly any more; it packages
+each local round as a :class:`ClientWorkItem` — a *pure, picklable* job —
+and hands it to an :class:`Executor`.  Purity means the item fully
+determines the result:
+
+* the **downlink state** is an explicit ``broadcast`` payload (packed by
+  :meth:`~repro.algorithms.base.MHFLAlgorithm.pack_broadcast`), never a
+  read of live coordinator state that could advance mid-flight;
+* **randomness** is a seed triple ``(run_seed, round, client_id)``
+  (:mod:`repro.fl.seeding`), never a shared generator whose draws depend
+  on dispatch order;
+* the **scenario** (dataset, models, clients) is referenced by a
+  :class:`ScenarioHandle` carrying the spec's content hash plus its
+  serialised form, so a pool worker can rebuild an identical replica and
+  cache it across items.
+
+Three executors implement one contract:
+
+* :class:`InlineExecutor` — eager, in-place, zero-copy (``broadcast=None``
+  reads live state); bit-for-bit the pre-executor sequential semantics and
+  the reference every other executor must match;
+* :class:`ThreadExecutor` — shares the coordinator's algorithm object
+  across worker threads.  Wins when local training is BLAS-bound (conv /
+  GEMM releases the GIL); loses when clients are Python-bound;
+* :class:`ProcessExecutor` — full process pool; each worker rebuilds the
+  scenario from the handle once and caches it by spec hash.  Wins when
+  clients are Python-bound; pays pickling for broadcasts and updates.
+
+Because items are pure and ingestion happens on the coordinator in
+dispatch order, **results are identical for any executor and any worker
+count** — the contract ``tests/test_parallel_exec.py`` pins byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from dataclasses import dataclass
+
+from .seeding import client_rng
+
+__all__ = ["ScenarioHandle", "ClientWorkItem", "ClientResult",
+           "execute_work_item", "Executor", "InlineExecutor",
+           "ThreadExecutor", "ProcessExecutor", "EXECUTORS",
+           "make_executor", "resolve_executor_kind", "ExecutorError"]
+
+
+class ExecutorError(RuntimeError):
+    """A work item could not be executed (e.g. no scenario to rebuild)."""
+
+
+def spec_content_digest(payload: dict) -> str:
+    """Canonical digest of a JSON-safe spec payload: sorted-key compact
+    JSON, sha256, first 24 hex chars.  The single definition behind both
+    :meth:`repro.experiments.spec.RunSpec.content_hash` and
+    :meth:`ScenarioHandle.from_spec_payload`, so cache entries and
+    worker-side scenario cache keys can never drift apart."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------
+# Work items
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioHandle:
+    """Picklable reference to the scenario a work item belongs to.
+
+    ``payload`` is the owning :class:`~repro.experiments.spec.RunSpec` in
+    dict form (``None`` when the run was not built from a spec — direct
+    library use — in which case only in-process executors can serve it);
+    ``key`` is its content hash, the worker-side cache key.
+    """
+
+    key: str
+    payload: dict | None = None
+
+    @classmethod
+    def from_spec_payload(cls, payload: dict | None) -> "ScenarioHandle":
+        if payload is None:
+            return cls(key="<unspecced>", payload=None)
+        return cls(key=spec_content_digest(payload), payload=payload)
+
+
+@dataclass
+class ClientWorkItem:
+    """One client's local round as a self-contained, picklable job."""
+
+    client_id: int
+    #: global model version (round index) the client trains from.
+    version: int
+    #: the run seed; the worker derives its generator from
+    #: ``(run_seed, version, client_id)``.
+    run_seed: int
+    #: downlink payload from ``pack_broadcast`` (``None`` = read live
+    #: coordinator state; only the inline executor may do that).
+    broadcast: dict | None = None
+    #: scenario reference for process-pool rebuilds.
+    scenario: ScenarioHandle | None = None
+    #: repeat-dispatch counter of this client at this version (buffered
+    #: policy only); part of the seed derivation so a re-dispatched client
+    #: trains a fresh draw, not a replay.
+    dispatch_index: int = 0
+
+
+@dataclass
+class ClientResult:
+    """What one executed work item sends back to the coordinator."""
+
+    client_id: int
+    update: object  # ClientUpdate; typed loosely to keep pickling flat
+    #: persistent per-client state (FedProto/Fed-ET personal models) the
+    #: coordinator must absorb via ``apply_client_state``.
+    client_state: dict | None = None
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+#: per-process scenario replicas, keyed by spec content hash.
+_WORKER_ALGORITHMS: dict[str, object] = {}
+#: soft cap on cached replicas per worker (sweeps touch many specs; each
+#: replica holds a dataset + models, so keep only the most recent few).
+_WORKER_CACHE_LIMIT = 4
+
+
+def _worker_algorithm(handle: ScenarioHandle | None):
+    """The worker-local algorithm replica for ``handle`` (built on miss)."""
+    if handle is None or handle.payload is None:
+        raise ExecutorError(
+            "work item carries no rebuildable scenario; runs not built "
+            "from a RunSpec can only use the inline or thread executor")
+    algorithm = _WORKER_ALGORITHMS.get(handle.key)
+    if algorithm is None:
+        from ..experiments.runner import build_worker_scenario
+        while len(_WORKER_ALGORITHMS) >= _WORKER_CACHE_LIMIT:
+            # Evict the oldest replica only (insertion order), so a sweep
+            # cycling over limit+1 specs doesn't rebuild everything.
+            _WORKER_ALGORITHMS.pop(next(iter(_WORKER_ALGORITHMS)))
+        algorithm = build_worker_scenario(handle.payload).algorithm
+        _WORKER_ALGORITHMS[handle.key] = algorithm
+    return algorithm
+
+
+def execute_work_item(item: ClientWorkItem, algorithm=None) -> ClientResult:
+    """Run one client's local round; the free function every executor calls.
+
+    ``algorithm`` injects the coordinator's live object (inline/thread
+    executors); when omitted the scenario is rebuilt from the item's
+    handle and cached per process (process pools).  Either way the result
+    is a pure function of the item: state comes from ``item.broadcast``
+    (or, inline-only, live state that is guaranteed quiescent during the
+    batch) and randomness from the derived seed.
+    """
+    if algorithm is None:
+        algorithm = _worker_algorithm(item.scenario)
+    rng = client_rng(item.run_seed, item.version, item.client_id,
+                     item.dispatch_index)
+    update = algorithm.run_client(item.client_id, item.version, rng,
+                                  broadcast=item.broadcast)
+    return ClientResult(client_id=int(item.client_id), update=update,
+                        client_state=algorithm.pack_client_state(
+                            item.client_id))
+
+
+def scenario_handle_for(algorithm) -> ScenarioHandle:
+    """The algorithm's scenario handle, hashed once and cached.
+
+    ``make_work_item`` runs once per client dispatch — re-serialising and
+    re-hashing the (constant) spec payload there would put a sha256 of the
+    whole spec on the dispatch hot path.
+    """
+    payload = getattr(algorithm, "spec_payload", None)
+    cached = getattr(algorithm, "_scenario_handle", None)
+    if cached is None or cached[0] is not payload:
+        cached = (payload, ScenarioHandle.from_spec_payload(payload))
+        try:
+            algorithm._scenario_handle = cached
+        except AttributeError:  # pragma: no cover - exotic algorithm objects
+            pass
+    return cached[1]
+
+
+def make_work_item(algorithm, client_id: int, version: int, run_seed: int,
+                   needs_broadcast: bool,
+                   shared_broadcast: dict | None = None,
+                   dispatch_index: int = 0) -> ClientWorkItem:
+    """Package one client's round for the given transport requirements.
+
+    ``shared_broadcast`` is a round-level snapshot from
+    ``pack_round_broadcast`` that synchronous dispatchers build once and
+    share across the batch (the arrays are read-only in workers), so a
+    round of N clients copies the global state once, not N times; only
+    the small per-client part is packed here.  Without it the full
+    per-client ``pack_broadcast`` is used (the buffered policy's case —
+    each dispatch snapshots a different server version).
+    """
+    if not needs_broadcast:
+        broadcast = None
+    elif shared_broadcast is not None:
+        broadcast = {**shared_broadcast,
+                     **algorithm.pack_client_broadcast(client_id, version)}
+    else:
+        broadcast = algorithm.pack_broadcast(client_id, version)
+    return ClientWorkItem(
+        client_id=int(client_id), version=int(version),
+        run_seed=int(run_seed), broadcast=broadcast,
+        scenario=scenario_handle_for(algorithm),
+        dispatch_index=int(dispatch_index))
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class _Immediate:
+    """Resolved future: the inline executor's submit() return value."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: ClientResult):
+        self._result = result
+
+    def result(self) -> ClientResult:
+        return self._result
+
+
+class Executor:
+    """Executor contract: ``submit`` one item, or ``run_batch`` many.
+
+    ``needs_broadcast`` tells dispatchers whether items must carry a state
+    snapshot (every asynchronous executor) or may read live coordinator
+    state (inline only — it executes eagerly, so the state is quiescent).
+    """
+
+    kind = "base"
+    needs_broadcast = True
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+
+    def submit(self, item: ClientWorkItem):
+        raise NotImplementedError
+
+    def run_batch(self, items) -> list[ClientResult]:
+        """Execute items concurrently; results come back in *item order*
+        (never completion order — aggregation order is part of the
+        result)."""
+        futures = [self.submit(item) for item in items]
+        return [future.result() for future in futures]
+
+    def stream(self, items):
+        """Yield results in item order.  Pools submit everything up front
+        (that is the parallelism) and drain in order; the inline executor
+        overrides this to run one item at a time, so the sequential path
+        keeps its one-update-alive memory profile."""
+        futures = [self.submit(item) for item in items]
+        for future in futures:
+            yield future.result()
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InlineExecutor(Executor):
+    """Eager single-process execution — the reference semantics."""
+
+    kind = "inline"
+    needs_broadcast = False
+
+    def __init__(self, algorithm=None, workers: int = 1):
+        super().__init__(workers=1)
+        self.algorithm = algorithm
+
+    def submit(self, item: ClientWorkItem):
+        return _Immediate(execute_work_item(item, self.algorithm))
+
+    def stream(self, items):
+        for item in items:
+            yield execute_work_item(item, self.algorithm)
+
+
+class ThreadExecutor(Executor):
+    """Thread pool sharing the coordinator's algorithm object.
+
+    Work items carry broadcast snapshots, so worker threads never read
+    state the coordinator might advance; per-client persistent models
+    (FedProto/Fed-ET) are safe because a client is never in flight twice.
+    """
+
+    kind = "thread"
+
+    def __init__(self, algorithm=None, workers: int = 2):
+        super().__init__(workers=workers)
+        self.algorithm = algorithm
+        self._pool = _ThreadPool(max_workers=self.workers,
+                                 thread_name_prefix="repro-client")
+
+    def submit(self, item: ClientWorkItem):
+        return self._pool.submit(execute_work_item, item, self.algorithm)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ProcessExecutor(Executor):
+    """Process pool; workers rebuild and cache the scenario by spec hash."""
+
+    kind = "process"
+
+    def __init__(self, algorithm=None, workers: int = 2):
+        super().__init__(workers=workers)
+        payload = getattr(algorithm, "spec_payload", None)
+        if algorithm is not None and payload is None:
+            raise ExecutorError(
+                "process executor needs a rebuildable scenario; run this "
+                "simulation through a RunSpec (experiments.runner) or use "
+                "the thread executor")
+        self._pool = _ProcessPool(max_workers=self.workers)
+
+    def submit(self, item: ClientWorkItem):
+        if item.scenario is None or item.scenario.payload is None:
+            raise ExecutorError(
+                "work item carries no rebuildable scenario; the process "
+                "executor cannot serve it")
+        return self._pool.submit(execute_work_item, item)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+EXECUTORS: dict[str, type[Executor]] = {
+    InlineExecutor.kind: InlineExecutor,
+    ThreadExecutor.kind: ThreadExecutor,
+    ProcessExecutor.kind: ProcessExecutor,
+}
+
+#: accepted ``executor=`` settings ("auto" resolves per run).
+EXECUTOR_KINDS = ("auto", *sorted(EXECUTORS))
+
+
+def resolve_executor_kind(kind: str | None, workers: int,
+                          has_scenario: bool) -> str:
+    """Resolve ``"auto"``: inline for one worker; otherwise processes when
+    the scenario is rebuildable from a spec, else threads."""
+    if kind in (None, "auto"):
+        if workers <= 1:
+            return "inline"
+        return "process" if has_scenario else "thread"
+    if kind not in EXECUTORS:
+        raise ValueError(f"unknown executor {kind!r}; "
+                         f"known: {EXECUTOR_KINDS}")
+    return kind
+
+
+def make_executor(algorithm, workers: int = 1,
+                  kind: str | None = "auto") -> Executor:
+    """Build the executor a simulation should use.
+
+    The resolved kind honours the determinism contract automatically —
+    whatever comes back, `History` output is identical; only wall-clock
+    and memory profiles differ.
+    """
+    has_scenario = getattr(algorithm, "spec_payload", None) is not None
+    resolved = resolve_executor_kind(kind, workers, has_scenario)
+    cls = EXECUTORS[resolved]
+    return cls(algorithm=algorithm, workers=workers)

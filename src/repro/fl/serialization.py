@@ -1,18 +1,32 @@
-"""History (de)serialisation: persist runs as JSON for later analysis.
+"""Run + update (de)serialisation: persist runs and client uploads.
 
-The sweep drivers under ``results/`` and downstream notebooks use this to
-keep raw run records next to the rendered tables.
+Two families live here:
+
+* **History JSON** — the sweep drivers under ``results/`` and downstream
+  notebooks use this to keep raw run records next to rendered tables;
+* **ClientUpdate round-trips** — a lossless, JSON-safe encoding of the
+  algorithm-specific uplink payloads (sliced state dicts + index maps,
+  FedProto prototype sums/counts, Fed-ET public-set predictions).  The
+  process-pool executor moves updates as pickles; this codec is the
+  transport-agnostic alternative (wire protocols, debugging dumps) and the
+  contract ``tests/test_parallel_exec.py`` exercises for every algorithm's
+  payload shape.  Arrays are encoded as base64 raw bytes with dtype and
+  shape, so decoding is bit-exact.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from pathlib import Path
+
+import numpy as np
 
 from .history import History, RoundRecord
 
 __all__ = ["history_to_dict", "history_from_dict", "save_history",
-           "load_history"]
+           "load_history", "encode_payload", "decode_payload",
+           "client_update_to_dict", "client_update_from_dict"]
 
 
 def history_to_dict(history: History) -> dict:
@@ -45,6 +59,92 @@ def history_from_dict(payload: dict) -> History:
     history.final_device_accuracies = list(
         payload.get("final_device_accuracies", []))
     return history
+
+
+# ----------------------------------------------------------------------
+# ClientUpdate payload round-trips
+# ----------------------------------------------------------------------
+
+def _encode_array(array: np.ndarray) -> dict:
+    array = np.ascontiguousarray(array)
+    return {"__ndarray__": {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }}
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(payload["shape"]).copy()
+
+
+def encode_payload(value):
+    """Recursively encode an algorithm payload into JSON-safe form.
+
+    Handles the structures every registered algorithm's uplink uses:
+    numpy arrays (tagged, bit-exact), dicts of them (state dicts, index
+    maps), tuples (tagged so they survive the round trip distinct from
+    lists — ``ClientUpdate.payload`` for parameter averaging is a
+    ``(state, maps)`` tuple), lists, scalars and ``None``.
+    """
+    if isinstance(value, np.ndarray):
+        return _encode_array(value)
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_payload(v) for v in value]}
+    if isinstance(value, dict):
+        return {str(k): encode_payload(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [encode_payload(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode payload element of type {type(value)!r}")
+
+
+def decode_payload(value):
+    """Inverse of :func:`encode_payload`."""
+    if isinstance(value, dict):
+        if "__ndarray__" in value and len(value) == 1:
+            return _decode_array(value["__ndarray__"])
+        if "__tuple__" in value and len(value) == 1:
+            return tuple(decode_payload(v) for v in value["__tuple__"])
+        return {k: decode_payload(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_payload(v) for v in value]
+    return value
+
+
+def client_update_to_dict(update) -> dict:
+    """Encode a :class:`~repro.algorithms.base.ClientUpdate` losslessly."""
+    return {
+        "client_id": int(update.client_id),
+        "version": int(update.version),
+        "train_loss": float(update.train_loss),
+        "round_time_s": float(update.round_time_s),
+        "weight": float(update.weight),
+        "discount": float(update.discount),
+        "staleness": int(update.staleness),
+        "payload": encode_payload(update.payload),
+    }
+
+
+def client_update_from_dict(payload: dict):
+    """Inverse of :func:`client_update_to_dict`."""
+    from ..algorithms.base import ClientUpdate
+    return ClientUpdate(
+        client_id=payload["client_id"],
+        version=payload["version"],
+        train_loss=payload["train_loss"],
+        round_time_s=payload["round_time_s"],
+        weight=payload["weight"],
+        discount=payload.get("discount", 1.0),
+        staleness=payload.get("staleness", 0),
+        payload=decode_payload(payload["payload"]))
 
 
 def save_history(history: History, path: str | Path) -> None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .aggregation import ExecutionConfig, make_policy, sample_count
+from .executor import Executor, make_executor, make_work_item
 from .history import History, RoundRecord
 
 __all__ = ["SimulationConfig", "run_simulation", "run_event_simulation",
@@ -51,6 +52,12 @@ class SimulationConfig:
     #: :class:`~repro.fl.aggregation.ExecutionConfig` selects the
     #: event-driven runtime (availability model + aggregation policy).
     execution: ExecutionConfig | None = None
+    #: client-work parallelism.  Results are identical for any worker
+    #: count/executor (see :mod:`repro.fl.executor`); only wall-clock and
+    #: memory profiles change, so neither field participates in RunSpec
+    #: hashing.
+    workers: int = 1
+    executor: str = "auto"    # "auto" | "inline" | "thread" | "process"
 
 
 def sample_clients(num_clients: int, sample_ratio: float,
@@ -65,24 +72,78 @@ def sample_clients(num_clients: int, sample_ratio: float,
 RUN_COUNT = 0
 
 
-def run_simulation(algorithm, config: SimulationConfig) -> History:
+def _simulation_executor(algorithm, config: SimulationConfig,
+                         execution: ExecutionConfig | None) -> Executor:
+    """Build the executor a simulation should use.
+
+    An explicit setting on the ``ExecutionConfig`` (its fields default to
+    ``None`` = inherit) wins over the ``SimulationConfig``, so one sim
+    config can be reused across differently-parallelised execution blocks
+    — and ``ExecutionConfig(workers=1)`` genuinely forces a serial run.
+    """
+    workers = config.workers
+    kind = config.executor
+    if execution is not None:
+        if execution.workers is not None:
+            workers = execution.workers
+        if execution.executor is not None:
+            kind = execution.executor
+    return make_executor(algorithm, workers=workers, kind=kind)
+
+
+def run_simulation(algorithm, config: SimulationConfig,
+                   executor: Executor | None = None) -> History:
     """Drive ``algorithm`` for ``config.num_rounds`` rounds.
 
     Routes to the event-driven runtime when ``config.execution`` is set;
-    otherwise runs the legacy synchronous loop below.
+    otherwise runs the synchronous round loop below.  All client training
+    flows through an :class:`~repro.fl.executor.Executor` (built from
+    ``config.workers``/``config.executor`` unless one is passed in);
+    ingestion stays on the coordinator in dispatch order, so the History
+    is byte-identical for any worker count.
     """
     global RUN_COUNT
     RUN_COUNT += 1
     if config.execution is not None:
-        return run_event_simulation(algorithm, config)
+        return run_event_simulation(algorithm, config, executor=executor)
 
+    owns_executor = executor is None
+    if executor is None:
+        executor = _simulation_executor(algorithm, config, None)
+    try:
+        return _run_sync_loop(algorithm, config, executor)
+    finally:
+        if owns_executor:
+            executor.close()
+
+
+def _run_sync_loop(algorithm, config: SimulationConfig,
+                   executor: Executor) -> History:
+    """The synchronous reference loop: every sampled client is always
+    online and always finishes; the round waits for the straggler."""
     rng = np.random.default_rng(config.seed)
     history = History(algorithm=algorithm.name, dataset=algorithm.dataset_name)
     sim_time = 0.0
 
     for round_index in range(config.num_rounds):
         sampled = sample_clients(algorithm.num_clients, config.sample_ratio, rng)
-        outcome = algorithm.run_round(round_index, sampled, rng)
+        shared = (algorithm.pack_round_broadcast(round_index)
+                  if executor.needs_broadcast else None)
+        items = (make_work_item(algorithm, cid, round_index, config.seed,
+                                executor.needs_broadcast,
+                                shared_broadcast=shared)
+                 for cid in sampled)
+
+        def updates():
+            # Stream results in dispatch order; with the inline executor
+            # only one client's update is alive at a time (the legacy
+            # memory profile), while pools drain as work completes.
+            for result in executor.stream(items):
+                algorithm.apply_client_state(result.client_id,
+                                             result.client_state)
+                yield result.update
+
+        outcome = algorithm.ingest(updates(), round_index, rng)
         round_time = outcome.slowest_client_s + config.server_overhead_s
         sim_time += round_time
 
@@ -102,7 +163,8 @@ def run_simulation(algorithm, config: SimulationConfig) -> History:
 
 
 def run_event_simulation(algorithm, config: SimulationConfig,
-                         execution: ExecutionConfig | None = None) -> History:
+                         execution: ExecutionConfig | None = None,
+                         executor: Executor | None = None) -> History:
     """Drive ``algorithm`` through the discrete-event runtime.
 
     ``execution`` overrides ``config.execution`` (so callers can reuse one
@@ -112,5 +174,12 @@ def run_event_simulation(algorithm, config: SimulationConfig,
     execution = execution or config.execution or ExecutionConfig()
     availability = execution.build_availability(algorithm.num_clients,
                                                 sim_seed=config.seed)
-    policy = make_policy(config, execution, availability)
-    return policy.run(algorithm)
+    owns_executor = executor is None
+    if executor is None:
+        executor = _simulation_executor(algorithm, config, execution)
+    policy = make_policy(config, execution, availability, executor=executor)
+    try:
+        return policy.run(algorithm)
+    finally:
+        if owns_executor:
+            executor.close()

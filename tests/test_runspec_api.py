@@ -85,10 +85,19 @@ class TestRunSpecSerialization:
             "seed": 4,
             "tag": "other",
         }
-        assert set(changed) == {f.name for f in dataclasses.fields(RunSpec)}
+        # Parallelism fields are execution mechanics: by the executor
+        # determinism contract they cannot change results, so they are
+        # excluded from serialisation and hashing (asserted below).
+        mechanics = {"workers": 4, "executor": "process"}
+        assert set(changed) | set(mechanics) == \
+            {f.name for f in dataclasses.fields(RunSpec)}
         for field_name, value in changed.items():
             mutated = spec.replace(**{field_name: value})
             assert mutated.content_hash() != base_hash, field_name
+        for field_name, value in mechanics.items():
+            mutated = spec.replace(**{field_name: value})
+            assert mutated.content_hash() == base_hash, field_name
+            assert field_name not in mutated.to_dict()
 
     def test_version_guard(self):
         payload = _smoke_spec().to_dict()
