@@ -53,12 +53,24 @@ def _direction(path: str) -> str | None:
 
 
 def compare(old_doc: dict, new_doc: dict,
-            threshold: float) -> tuple[list[str], list[str]]:
-    """Return (report lines, regression lines) for the common numeric leaves."""
+            threshold: float) -> tuple[list[str], list[str], list[str]]:
+    """Return (report, regressions, skipped) lines.
+
+    ``skipped`` names direction-ful metrics present in only one file —
+    an op added to or removed from the suite between the two runs.  They
+    are reported (so coverage changes are visible) but never counted as
+    regressions: a renamed benchmark must not fail the gate.
+    """
     old = _numeric_leaves(old_doc)
     new = _numeric_leaves(new_doc)
     report: list[str] = []
     regressions: list[str] = []
+    skipped: list[str] = []
+    for path in sorted(set(old) ^ set(new)):
+        if _direction(path) is None:
+            continue
+        side = "baseline only" if path in old else "candidate only"
+        skipped.append(f"{path} ({side})")
     for path in sorted(set(old) & set(new)):
         direction = _direction(path)
         if direction is None or old[path] == 0:
@@ -71,7 +83,7 @@ def compare(old_doc: dict, new_doc: dict,
             regressions.append(line)
         elif direction == "down" and ratio > 1.0 + threshold:
             regressions.append(line)
-    return report, regressions
+    return report, regressions, skipped
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,8 +96,11 @@ def main(argv: list[str] | None = None) -> int:
 
     old_doc = json.loads(args.old.read_text())
     new_doc = json.loads(args.new.read_text())
-    report, regressions = compare(old_doc, new_doc, args.threshold)
+    report, regressions, skipped = compare(old_doc, new_doc, args.threshold)
 
+    for entry in skipped:
+        print(f"warning: skipping {entry}: not in both files",
+              file=sys.stderr)
     if not report:
         print("no comparable numeric entries found between the two files",
               file=sys.stderr)

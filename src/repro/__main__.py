@@ -29,7 +29,9 @@ from .experiments.cache import (DEFAULT_CACHE_DIR, RunCache,
                                 set_default_cache)
 from .experiments.registry import all_artifacts, get_artifact
 from .experiments.reporting import write_rows
-from .experiments.runner import set_default_parallelism
+from .experiments.runner import (DEFAULT_CHECKPOINT_DIR, Checkpointing,
+                                 set_default_checkpointing,
+                                 set_default_parallelism)
 
 _SUBCOMMANDS = ("list", "describe", "run")
 
@@ -93,6 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=("auto", "inline", "thread", "process"),
                      help="within-cell client executor (default: auto — "
                           "inline for 1 worker, processes otherwise)")
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="N",
+                     help="snapshot each run every N rounds so an "
+                          "interrupted invocation can be resumed "
+                          "(default: off)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help=f"where run snapshots live "
+                          f"(default: {DEFAULT_CHECKPOINT_DIR})")
+    run.add_argument("--resume", action="store_true",
+                     help="resume each cell from its snapshot when one "
+                          "exists (implies --checkpoint-every 1 unless "
+                          "given)")
     return parser
 
 
@@ -187,16 +201,31 @@ def _cmd_run(args) -> int:
     kwargs = _artifact_kwargs(artifact, args)
     cache = None if args.no_cache else RunCache(args.cache_dir
                                                 or DEFAULT_CACHE_DIR)
+    checkpointing = None
+    if (args.checkpoint_every is not None or args.checkpoint_dir is not None
+            or args.resume):
+        checkpointing = Checkpointing(
+            directory=args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR,
+            every=args.checkpoint_every if args.checkpoint_every is not None
+            else 1,
+            resume=args.resume)
+        if args.resume and cache is not None:
+            # A cache hit would mask the resume path entirely; resumed
+            # cells must actually re-enter the round loop.
+            _warn("--resume bypasses the run cache for this invocation")
+            cache = None
     previous = set_default_cache(cache)
     previous_parallelism = set_default_parallelism(
         workers=args.workers if args.workers is not None else 1,
         executor=args.executor or "auto")
+    previous_checkpointing = set_default_checkpointing(checkpointing)
     try:
         rows = artifact.run(**kwargs)
     finally:
         set_default_cache(previous)
         set_default_parallelism(previous_parallelism.workers,
                                 previous_parallelism.executor)
+        set_default_checkpointing(previous_checkpointing)
     print(write_rows(rows, out=args.out, title=artifact.title,
                      render=artifact.render, **artifact.render_kwargs))
     if cache is not None:

@@ -424,6 +424,25 @@ class MHFLAlgorithm:
         return self.ingest(updates(), round_index, rng)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    # The two hooks :mod:`repro.fl.checkpoint` composes with the JSON
+    # payload codecs: everything returned must survive ``encode_payload``
+    # (arrays, dicts, scalars; dict keys become strings, so restorers of
+    # int-keyed maps convert back).  Algorithms with server-side state
+    # beyond ``global_state`` (FedProto prototypes, Fed-ET ensemble model,
+    # persistent personal models) extend both sides symmetrically.
+
+    def checkpoint_state(self) -> dict:
+        """Server-side aggregate state a resumed run must restore."""
+        return {"global_state": {k: v.copy()
+                                 for k, v in self.global_state.items()}}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self.global_state = dict(state["global_state"])
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def _global_model(self) -> SliceableModel:

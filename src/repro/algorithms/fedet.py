@@ -170,6 +170,29 @@ class FedET(MHFLAlgorithm):
             optimizer.step()
 
     # ------------------------------------------------------------------
+    # Resumable server-side state: the distilled server model, the last
+    # consensus, and every materialised personal model.  The public set and
+    # the per-round Adam are derived (seeded / rebuilt fresh each round),
+    # so they need no snapshot.
+    def checkpoint_state(self) -> dict:
+        return {
+            "server_model": self.server_model.state_dict(),
+            "consensus": (None if self._consensus is None
+                          else self._consensus.copy()),
+            "personal": {cid: model.state_dict()
+                         for cid, model in self._personal.items()},
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self.server_model.load_state_dict(state["server_model"])
+        consensus = state["consensus"]
+        self._consensus = (None if consensus is None
+                           else np.asarray(consensus))
+        for cid, personal_state in state["personal"].items():
+            ctx = self.clients[int(cid)]
+            self.personal_model(ctx).load_state_dict(personal_state)
+
+    # ------------------------------------------------------------------
     def client_payload_bytes(self, ctx: ClientContext) -> tuple[float, float]:
         logits_bytes = self.public_size * self.dataset.num_classes * 4
         # Down: consensus logits; up: client logits on the public set.

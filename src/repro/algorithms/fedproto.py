@@ -215,6 +215,27 @@ class FedProto(MHFLAlgorithm):
             mean_train_loss=float(np.mean(losses)) if losses else 0.0)
 
     # ------------------------------------------------------------------
+    # FedProto has no global_state to speak of; its resumable server-side
+    # state is the prototype table + which classes are valid + every
+    # materialised personal model (checkpoint keys become strings in the
+    # JSON codec, hence the int() on restore).
+    def checkpoint_state(self) -> dict:
+        return {
+            "global_protos": self.global_protos.copy(),
+            "proto_valid": self._proto_valid.copy(),
+            "personal": {cid: model.state_dict()
+                         for cid, model in self._personal.items()},
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self.global_protos = np.asarray(state["global_protos"],
+                                        dtype=np.float32)
+        self._proto_valid = np.asarray(state["proto_valid"], dtype=bool)
+        for cid, personal_state in state["personal"].items():
+            ctx = self.clients[int(cid)]
+            self.personal_model(ctx).load_state_dict(personal_state)
+
+    # ------------------------------------------------------------------
     def client_payload_bytes(self, ctx: ClientContext) -> tuple[float, float]:
         proto_bytes = self.global_protos.nbytes
         return proto_bytes, proto_bytes

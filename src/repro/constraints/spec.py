@@ -52,6 +52,10 @@ class ConstraintSpec:
     #: fleet availability scenario (see :data:`AVAILABILITY_KINDS`).
     availability: str = "always_on"
     availability_kwargs: dict = field(default_factory=dict)
+    #: fault-injection profile as :class:`~repro.fl.faults.FaultSpec`
+    #: kwargs (empty = healthy fleet).  Availability shapes whether a
+    #: client is there to train; faults shape whether its work *survives*.
+    faults: dict = field(default_factory=dict)
 
     def __post_init__(self):
         unknown = set(self.constraints) - set(CONSTRAINT_KINDS)
@@ -62,6 +66,9 @@ class ConstraintSpec:
             raise ValueError(
                 f"unknown availability scenario {self.availability!r}; "
                 f"known: {AVAILABILITY_KINDS}")
+        if self.faults:
+            from ..fl.faults import FaultSpec
+            FaultSpec(**self.faults)  # validate eagerly, at spec build time
 
     @property
     def label(self) -> str:
@@ -87,12 +94,22 @@ class ConstraintSpec:
         return replace(self, availability=availability,
                        availability_kwargs=availability_kwargs)
 
+    def with_faults(self, **faults) -> "ConstraintSpec":
+        """This spec with a fault-injection profile (FaultSpec kwargs);
+        ``with_faults()`` clears it."""
+        from dataclasses import replace
+        return replace(self, faults=faults)
+
     def execution_config(self, policy: str = "sync", **overrides):
         """Build an :class:`~repro.fl.aggregation.ExecutionConfig` running
-        this spec's availability scenario under the given policy."""
+        this spec's availability scenario (and fault profile, if any)
+        under the given policy."""
         from ..fl.aggregation import ExecutionConfig
+        from ..fl.faults import FaultSpec
         kwargs = dict(policy=policy, availability=self.availability,
                       availability_kwargs=dict(self.availability_kwargs))
+        if self.faults:
+            kwargs["faults"] = FaultSpec(**self.faults)
         kwargs.update(overrides)
         return ExecutionConfig(**kwargs)
 
@@ -100,8 +117,12 @@ class ConstraintSpec:
     # Serialisation (stable JSON-safe form; used by RunSpec hashing)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-safe dict; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-safe dict; inverse of :meth:`from_dict`.
+
+        ``faults`` serialises only when non-empty: pre-existing specs keep
+        their exact payload, so no cached content hash ever moves.
+        """
+        payload = {
             "constraints": list(self.constraints),
             "deadline_quantile": self.deadline_quantile,
             "comm_quantile": self.comm_quantile,
@@ -115,6 +136,9 @@ class ConstraintSpec:
             "availability": self.availability,
             "availability_kwargs": dict(self.availability_kwargs),
         }
+        if self.faults:
+            payload["faults"] = dict(self.faults)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ConstraintSpec":

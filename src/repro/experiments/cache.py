@@ -108,6 +108,9 @@ class RunCache:
             "level_distribution": dict(level_distribution or {}),
             "history": history_to_dict(history),
         }
+        # Serialise before touching the filesystem: an unserialisable
+        # payload then raises without ever creating a temp file.
+        text = json.dumps(payload, indent=1)
         fd, tmp_name = tempfile.mkstemp(dir=self.directory,
                                         prefix=f".{path.stem}-",
                                         suffix=".tmp")
@@ -118,7 +121,7 @@ class RunCache:
             os.umask(umask)
             os.fchmod(fd, 0o666 & ~umask)
             with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(payload, indent=1))
+                handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
             with contextlib.suppress(OSError):

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace as _dc_replace
+from pathlib import Path
 from typing import Callable, Sequence
 
 from ..algorithms import get_algorithm
@@ -33,6 +34,7 @@ from ..constraints import BuiltScenario, ConstraintSpec, build_scenario
 from ..data.dataset import FederatedDataset
 from ..data.registry import load_dataset
 from ..fl.aggregation import ExecutionConfig
+from ..fl.checkpoint import CheckpointConfig
 from ..fl.client import LocalTrainConfig
 from ..fl.history import History
 from ..fl.serialization import history_from_dict, history_to_dict
@@ -46,7 +48,9 @@ from .spec import RunSpec, spec_scale_fields
 __all__ = ["RunResult", "execute_spec", "execute_specs", "prepare_scenario",
            "build_worker_scenario", "run_one", "run_suite",
            "resolve_target_accuracy", "DEFAULT", "Parallelism",
-           "default_parallelism", "set_default_parallelism"]
+           "default_parallelism", "set_default_parallelism",
+           "Checkpointing", "default_checkpointing",
+           "set_default_checkpointing", "DEFAULT_CHECKPOINT_DIR"]
 
 
 class _Default:
@@ -98,6 +102,53 @@ def _resolve_parallelism(workers: int | None,
     default = default_parallelism()
     return (default.workers if workers is None else max(1, int(workers)),
             default.executor if executor is None else executor)
+
+
+# ----------------------------------------------------------------------
+# Process-wide checkpointing default (the CLI's --checkpoint-every sets it)
+# ----------------------------------------------------------------------
+#: where the CLI keeps run snapshots unless ``--checkpoint-dir`` overrides.
+DEFAULT_CHECKPOINT_DIR = Path("results") / "checkpoints"
+
+
+@dataclass(frozen=True)
+class Checkpointing:
+    """Crash-safety policy applied to runs that don't specify their own
+    (mechanics only — checkpointing is invisible in results).  Each run
+    snapshots to ``<directory>/<content_hash>.ckpt.json``, so a sweep's
+    cells never collide and ``--resume`` finds each cell's own snapshot."""
+
+    directory: str | Path = DEFAULT_CHECKPOINT_DIR
+    every: int = 1
+    resume: bool = False
+
+
+_DEFAULT_CHECKPOINTING: Checkpointing | None = None
+
+
+def default_checkpointing() -> Checkpointing | None:
+    return _DEFAULT_CHECKPOINTING
+
+
+def set_default_checkpointing(checkpointing: Checkpointing | None
+                              ) -> Checkpointing | None:
+    """Install (or clear, with ``None``) the process-wide checkpointing
+    default; returns the previous value (mirror of
+    :func:`set_default_parallelism`)."""
+    global _DEFAULT_CHECKPOINTING
+    previous = _DEFAULT_CHECKPOINTING
+    _DEFAULT_CHECKPOINTING = checkpointing
+    return previous
+
+
+def _spec_checkpoint(spec: RunSpec) -> CheckpointConfig | None:
+    """The per-spec checkpoint config under the process default."""
+    policy = default_checkpointing()
+    if policy is None:
+        return None
+    path = Path(policy.directory) / f"{spec.content_hash()}.ckpt.json"
+    return CheckpointConfig(path=path, every=policy.every,
+                            resume=policy.resume)
 
 
 @dataclass
@@ -236,7 +287,8 @@ def execute_spec(spec: RunSpec, *, cache=DEFAULT,
                            sample_ratio=scale.sample_ratio,
                            eval_every=scale.eval_every, seed=spec.seed,
                            execution=execution,
-                           workers=workers, executor=executor_kind)
+                           workers=workers, executor=executor_kind,
+                           checkpoint=_spec_checkpoint(spec))
     history = run_simulation(scenario.algorithm, sim)
     result = RunResult(history=history, scenario=scenario,
                        num_classes=dataset.num_classes, spec=spec)

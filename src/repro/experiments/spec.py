@@ -93,12 +93,14 @@ class RunSpec:
         """The execution block the runner will actually use.
 
         Mirrors the legacy ``run_one`` behaviour: an explicit execution
-        wins; otherwise a non-trivial availability scenario routes through
+        wins; otherwise a non-trivial availability scenario — or a fault
+        profile, which only the event engine can inject — routes through
         the event engine so the scenario is honoured.
         """
         if self.execution is not None:
             return self.execution
-        if self.constraints.availability != "always_on":
+        if (self.constraints.availability != "always_on"
+                or self.constraints.faults):
             return self.constraints.execution_config()
         return None
 

@@ -15,12 +15,15 @@ from .availability import (AvailabilityModel, AlwaysOn, DiurnalSine,
                            make_availability)
 from .aggregation import (ExecutionConfig, AggregationPolicy,
                           SynchronousPolicy, BufferedPolicy,
-                          AGGREGATION_POLICIES, make_policy)
+                          AGGREGATION_POLICIES, make_policy, validate_update)
 from .executor import (ScenarioHandle, ClientWorkItem, ClientResult,
                        execute_work_item, Executor, InlineExecutor,
                        ThreadExecutor, ProcessExecutor, EXECUTORS,
-                       make_executor, ExecutorError)
-from .seeding import client_seed_key, client_rng, reseed_dropout
+                       make_executor, ExecutorError, TransientExecutorError,
+                       failure_is_transient)
+from .faults import FaultSpec, FaultModel, FaultPlan, corrupt_update
+from .checkpoint import CheckpointConfig, Checkpointer, make_checkpointer
+from .seeding import client_seed_key, client_rng, fault_rng, reseed_dropout
 from .simulation import (SimulationConfig, run_simulation,
                          run_event_simulation, sample_clients)
 from .serialization import (history_to_dict, history_from_dict, save_history,
@@ -36,10 +39,14 @@ __all__ = [
     "RandomDropout", "AVAILABILITY_MODELS", "make_availability",
     "ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
     "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
+    "validate_update",
     "ScenarioHandle", "ClientWorkItem", "ClientResult", "execute_work_item",
     "Executor", "InlineExecutor", "ThreadExecutor", "ProcessExecutor",
-    "EXECUTORS", "make_executor", "ExecutorError",
-    "client_seed_key", "client_rng", "reseed_dropout",
+    "EXECUTORS", "make_executor", "ExecutorError", "TransientExecutorError",
+    "failure_is_transient",
+    "FaultSpec", "FaultModel", "FaultPlan", "corrupt_update",
+    "CheckpointConfig", "Checkpointer", "make_checkpointer",
+    "client_seed_key", "client_rng", "fault_rng", "reseed_dropout",
     "SimulationConfig", "run_simulation", "run_event_simulation",
     "sample_clients",
     "history_to_dict", "history_from_dict", "save_history", "load_history",

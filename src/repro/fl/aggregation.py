@@ -29,21 +29,24 @@ any worker count.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .availability import AvailabilityModel, make_availability
-from .events import (CLIENT_DROPPED, DOWNLOAD_START, EVAL_TICK,
-                     SERVER_AGGREGATE, TRAIN_COMPLETE, UPLOAD_COMPLETE,
-                     Event, EventQueue)
+from .checkpoint import make_checkpointer
+from .events import (CLIENT_DROPPED, CLIENT_FAILED, DOWNLOAD_START,
+                     EVAL_TICK, SERVER_AGGREGATE, TRAIN_COMPLETE,
+                     UPDATE_REJECTED, UPLOAD_COMPLETE, Event, EventQueue)
 from .executor import (EXECUTOR_KINDS, Executor, InlineExecutor,
                        make_work_item)
+from .faults import FaultModel, FaultSpec, corrupt_update
 from .history import History, RoundRecord
 
 __all__ = ["ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
            "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
-           "sample_count"]
+           "sample_count", "validate_update"]
 
 
 def sample_count(num_clients: int, sample_ratio: float) -> int:
@@ -51,6 +54,62 @@ def sample_count(num_clients: int, sample_ratio: float) -> int:
     :func:`repro.fl.simulation.sample_clients` and the policies' sampling
     (the bit-exact legacy-equivalence contract depends on them agreeing)."""
     return min(max(1, int(round(num_clients * sample_ratio))), num_clients)
+
+
+# ----------------------------------------------------------------------
+# Coordinator defense: update validation
+# ----------------------------------------------------------------------
+
+def _payload_arrays(value):
+    """Yield every ndarray leaf of an uplink payload (any nesting)."""
+    if isinstance(value, np.ndarray):
+        yield value
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _payload_arrays(item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _payload_arrays(item)
+
+
+def validate_update(update, norm_bound: float | None = None) -> str | None:
+    """Judge one :class:`~repro.algorithms.base.ClientUpdate` before it may
+    enter aggregation; returns ``None`` when healthy, else a quarantine
+    reason code (``"nonfinite"``, ``"norm"``, ``"shape"``, ``"malformed"``).
+
+    Checks, in order: scalar sanity (finite loss and non-negative finite
+    weight), structural sanity for the parameter-averaging ``(state,
+    maps)`` family (array-valued state entries, every entry mapped),
+    NaN/Inf in any float array leaf, and — when ``norm_bound`` is set —
+    a max-abs magnitude bound.  A zeroed payload passes deliberately: it
+    is finite and in bounds, which is exactly what makes silent erasure
+    the hardest fault to defend against.
+    """
+    try:
+        loss = float(update.train_loss)
+        weight = float(update.weight)
+        payload = update.payload
+    except (AttributeError, TypeError, ValueError):
+        return "malformed"
+    if not math.isfinite(weight) or weight < 0:
+        return "malformed"
+    if (isinstance(payload, tuple) and len(payload) == 2
+            and all(isinstance(part, dict) for part in payload)):
+        state, maps = payload
+        if not all(isinstance(v, np.ndarray) for v in state.values()):
+            return "shape"
+        if set(state) - set(maps):
+            return "shape"
+    if not math.isfinite(loss):
+        return "nonfinite"
+    for array in _payload_arrays(payload):
+        if array.size and np.issubdtype(array.dtype, np.floating):
+            if not np.all(np.isfinite(array)):
+                return "nonfinite"
+            if (norm_bound is not None
+                    and float(np.max(np.abs(array))) > norm_bound):
+                return "norm"
+    return None
 
 
 @dataclass(frozen=True)
@@ -78,6 +137,25 @@ class ExecutionConfig:
     availability_seed: int | None = None
     #: attach per-event timelines to each RoundRecord.
     record_events: bool = True
+    #: deterministic fault injection (:mod:`repro.fl.faults`); ``None`` (or
+    #: an all-zero spec) is the healthy fleet.  A plain dict is accepted
+    #: and coerced, so serialised configs round-trip.
+    faults: FaultSpec | None = None
+    #: sync: minimum fraction of dispatched clients that must arrive (by
+    #: the deadline) for the round to aggregate.  Unmet quorum extends the
+    #: deadline once (doubling it); still unmet, the round is skipped —
+    #: never crashed.  ``None`` aggregates whatever arrived (legacy).
+    quorum: float | None = None
+    #: coordinator defense: run :func:`validate_update` on every arrived
+    #: update and quarantine failures (``dropped_quarantined`` extras).
+    validate: bool = True
+    #: optional max-abs bound for the ``"norm"`` validation check.
+    norm_bound: float | None = None
+    #: executor hardening (purely mechanical, like ``workers``): per-item
+    #: result timeout and bounded transparent retries on transient
+    #: failures.  ``None`` inherits the executor defaults.
+    item_timeout_s: float | None = None
+    item_retries: int | None = None
     #: client-work parallelism (see :mod:`repro.fl.executor`).  Purely a
     #: *mechanical* setting: results are identical for any worker count,
     #: so neither field is serialised by :meth:`to_dict` — the same cell
@@ -100,6 +178,24 @@ class ExecutionConfig:
         if self.executor is not None and self.executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor {self.executor!r}; "
                              f"known: {EXECUTOR_KINDS}")
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.quorum is not None:
+            if not 0.0 < self.quorum <= 1.0:
+                raise ValueError("quorum must be in (0, 1]")
+            if self.policy != "sync":
+                raise ValueError("quorum is a synchronous-round concept; "
+                                 "the buffered policy has no round to gate")
+        if self.item_timeout_s is not None and self.item_timeout_s <= 0:
+            raise ValueError("item_timeout_s must be > 0")
+        if self.item_retries is not None and self.item_retries < 0:
+            raise ValueError("item_retries must be >= 0")
+
+    def fault_model(self, run_seed: int) -> FaultModel | None:
+        """The run's seeded fault model (``None`` = healthy fleet)."""
+        if self.faults is None or not self.faults.enabled:
+            return None
+        return FaultModel(self.faults, run_seed)
 
     def build_availability(self, num_clients: int,
                            sim_seed: int) -> AvailabilityModel:
@@ -114,13 +210,17 @@ class ExecutionConfig:
     def to_dict(self) -> dict:
         """JSON-safe dict; inverse of :meth:`from_dict`.
 
-        ``workers``/``executor`` are deliberately omitted: they cannot
-        change results (the executor determinism contract), so two
+        ``workers``/``executor`` (and the ``item_timeout_s``/
+        ``item_retries`` hardening knobs) are deliberately omitted: they
+        cannot change results (the executor determinism contract), so two
         configs differing only in parallelism serialise — and content-hash
         — identically.  :meth:`from_dict` still accepts payloads that
-        carry them.
+        carry them.  The robustness fields (``faults``/``quorum``/
+        ``validate``/``norm_bound``) *do* change results, but serialise
+        only when set away from their defaults — pre-existing configs keep
+        their exact serialised form, so no cached spec hash ever moves.
         """
-        return {
+        payload = {
             "policy": self.policy,
             "availability": self.availability,
             "availability_kwargs": dict(self.availability_kwargs),
@@ -132,6 +232,15 @@ class ExecutionConfig:
             "availability_seed": self.availability_seed,
             "record_events": self.record_events,
         }
+        if self.faults is not None and self.faults.enabled:
+            payload["faults"] = self.faults.to_dict()
+        if self.quorum is not None:
+            payload["quorum"] = self.quorum
+        if not self.validate:
+            payload["validate"] = False
+        if self.norm_bound is not None:
+            payload["norm_bound"] = self.norm_bound
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExecutionConfig":
@@ -156,6 +265,8 @@ class AggregationPolicy:
         self.timeline: list[Event] = []
         #: per-client count of accepted dispatches so far.
         self._participation: dict[int, int] = {}
+        #: seeded fault model, bound by :meth:`run` (None = healthy fleet).
+        self.faults: FaultModel | None = None
 
     # -- shared plumbing ------------------------------------------------
     def emit(self, event: Event) -> Event:
@@ -211,8 +322,16 @@ class SynchronousPolicy(AggregationPolicy):
                           dataset=algorithm.dataset_name)
         all_ids = sorted(algorithm.clients)
         sim_time = 0.0
+        self.faults = execution.fault_model(config.seed)
 
-        for round_index in range(config.num_rounds):
+        start_round = 0
+        checkpointer = make_checkpointer(getattr(config, "checkpoint", None))
+        if checkpointer is not None:
+            restored = checkpointer.maybe_resume(algorithm, rng)
+            if restored is not None:
+                history, start_round, sim_time, self._participation = restored
+
+        for round_index in range(start_round, config.num_rounds):
             online = [cid for cid in all_ids
                       if self.availability.is_online(cid, sim_time)]
             while not online:
@@ -228,7 +347,7 @@ class SynchronousPolicy(AggregationPolicy):
                 break
 
             sampled = self._sample(online, len(all_ids), rng)
-            received, duration, drops = self._dispatch_round(
+            received, duration, drops, notes = self._dispatch_round(
                 algorithm, sampled, round_index, sim_time, rng)
 
             outcome = (algorithm.ingest(received, round_index, rng)
@@ -249,15 +368,23 @@ class SynchronousPolicy(AggregationPolicy):
             extras.update({"dispatched": len(sampled),
                            "received": len(received)})
             extras.update({f"dropped_{k}": v for k, v in drops.items() if v})
+            extras.update(notes)
             history.append(RoundRecord(
                 round_index=round_index, sim_time_s=sim_time,
                 round_time_s=round_time, train_loss=mean_loss,
                 global_accuracy=acc, extras=extras,
                 events=self.take_timeline()))
+            if checkpointer is not None and checkpointer.due(round_index):
+                checkpointer.save(algorithm, rng, history,
+                                  next_round=round_index + 1,
+                                  sim_time_s=sim_time,
+                                  participation=self._participation)
             if self.should_stop(acc):
                 break
 
         history.final_device_accuracies = algorithm.per_device_accuracies()
+        if checkpointer is not None:
+            checkpointer.clear()
         return history
 
     # -- helpers --------------------------------------------------------
@@ -277,34 +404,48 @@ class SynchronousPolicy(AggregationPolicy):
                         start_s: float, rng: np.random.Generator):
         """Train the round's clients and play their events through the
         queue; returns (received updates, round duration before server
-        overhead, drop counters).
+        overhead, drop counters, quorum notes for the round's extras).
 
         Three phases: (1) decide each client's fate on the coordinator
-        (availability draws must happen in dispatch order); (2) run every
+        (availability draws must happen in dispatch order; injected fault
+        plans are order-independent by construction); (2) run every
         surviving client's work item through the executor as one batch;
-        (3) schedule their train/upload events.  Phase 2 is where worker
-        parallelism happens — the decisions and the queue never leave the
-        coordinator, so the round is deterministic for any worker count.
+        (3) schedule their train/upload events and *settle* the round
+        against the deadline.  Phase 2 is where worker parallelism happens
+        — the decisions and the queue never leave the coordinator, so the
+        round is deterministic for any worker count.
         """
         execution = self.execution
         executor = self._executor_for(algorithm)
         deadline = (execution.deadline_s if execution.deadline_s is not None
                     else math.inf)
-        #: updates kept in dispatch order — a synchronous server treats the
-        #: round's batch as a set, and dispatch order is the legacy loop's
-        #: accumulation order (the equivalence contract is bit-exact).
-        received: list = []
-        drops = {"dropout": 0, "churn": 0, "deadline": 0}
-        duration = 0.0
+        #: latest deadline settlement may use: with a quorum the round may
+        #: extend its deadline once (doubling it), so "provably late" must
+        #: be judged against the extension or a recoverable client would
+        #: have been skipped before the extension could save it.
+        horizon = deadline if execution.quorum is None else deadline * 2
+        drops = {"dropout": 0, "churn": 0, "deadline": 0,
+                 "crash": 0, "quarantined": 0}
         dispatch_order = {int(cid): i for i, cid in enumerate(sampled)}
         to_train: list[int] = []
         timings: dict[int, tuple[float, float]] = {}
+        plans: dict[int, object] = {}
 
         for client_id in sampled:
             cid = int(client_id)
             ctx = algorithm.clients[cid]
             down, train, up = algorithm.client_time_segments(ctx)
-            total = algorithm.client_round_time_s(ctx)
+            plan = (self.faults.plan(round_index, cid)
+                    if self.faults is not None else None)
+            if plan is not None and plan.slowdown != 1.0:
+                train *= plan.slowdown
+                total = train + (down + up)
+            else:
+                # No slowdown: keep the algorithm's own total (bit-exact
+                # with the zero-fault path, overrides included).
+                total = algorithm.client_round_time_s(ctx)
+            if plan is not None and not plan.clean:
+                plans[cid] = plan
             timings[cid] = (down + train, total)
             self.queue.push(Event(start_s, DOWNLOAD_START, cid,
                                   info={"round": round_index}))
@@ -320,7 +461,14 @@ class SynchronousPolicy(AggregationPolicy):
                                       CLIENT_DROPPED, cid,
                                       info={"reason": "churn"}))
                 continue
-            if total > deadline:
+            if plan is not None and plan.crash:
+                # Injected fault: the device dies after training, before
+                # its upload lands — the work is lost either way, so skip
+                # the (expensive) local training too.
+                self.queue.push(Event(start_s + down + train, CLIENT_FAILED,
+                                      cid, info={"reason": "crash"}))
+                continue
+            if total > horizon:
                 # Provably late: the arrival will be discarded, so skip the
                 # (expensive) local training and schedule the late upload.
                 self.queue.push(Event(start_s + total, UPLOAD_COMPLETE, cid,
@@ -338,27 +486,89 @@ class SynchronousPolicy(AggregationPolicy):
         for cid, result in zip(to_train, executor.run_batch(items)):
             algorithm.apply_client_state(cid, result.client_state)
             trained_at, total = timings[cid]
+            plan = plans.get(cid)
+            if plan is not None:
+                if plan.slowdown != 1.0:
+                    result.update.round_time_s = total
+                if plan.corrupt is not None:
+                    corrupt_update(result.update, plan.corrupt,
+                                   self.faults.spec.corrupt_factor)
             self.queue.push(Event(start_s + trained_at, TRAIN_COMPLETE, cid))
             self.queue.push(Event(start_s + total, UPLOAD_COMPLETE, cid,
                                   info={"update": result.update}))
 
+        #: drain the queue once, then settle (possibly twice, under an
+        #: extended deadline) — pure recomputation over the drained events,
+        #: so the two passes cannot disagree about what arrived.
+        arrivals: list[tuple[Event, object]] = []
+        drop_events: list[Event] = []
         while self.queue:
             event = self.emit(self.queue.pop())
-            offset = event.time_s - start_s
-            if event.type == CLIENT_DROPPED:
+            if event.type in (CLIENT_DROPPED, CLIENT_FAILED):
                 drops[event.info["reason"]] += 1
-                duration = max(duration, min(offset, deadline))
+                drop_events.append(event)
             elif event.type == UPLOAD_COMPLETE:
-                update = event.info.pop("update", None)
-                if update is None or update.round_time_s > deadline:
-                    drops["deadline"] += 1
+                arrivals.append((event, event.info.pop("update", None)))
+
+        verdicts: dict[int, str | None] = {}
+
+        def judge(update) -> str | None:
+            """Validation verdict, memoised so a quorum-extended second
+            settle never judges (or counts) the same update twice."""
+            key = id(update)
+            if key not in verdicts:
+                verdicts[key] = (validate_update(update, execution.norm_bound)
+                                 if execution.validate else None)
+            return verdicts[key]
+
+        def settle(effective_deadline: float):
+            kept, rejected, duration, late = [], [], 0.0, 0
+            for event in drop_events:
+                duration = max(duration, min(event.time_s - start_s,
+                                             effective_deadline))
+            for event, update in arrivals:
+                if (update is None
+                        or update.round_time_s > effective_deadline):
+                    late += 1
                     event.info["late"] = True
-                    duration = max(duration, deadline)
+                    duration = max(duration, effective_deadline)
+                    continue
+                event.info.pop("late", None)
+                # The upload landed (and consumed wall clock) whether or
+                # not it survives validation.
+                duration = max(duration, update.round_time_s)
+                verdict = judge(update)
+                if verdict is not None:
+                    rejected.append((event, update, verdict))
                 else:
-                    received.append(update)
-                    duration = max(duration, update.round_time_s)
+                    kept.append(update)
+            return kept, rejected, duration, late
+
+        received, rejected, duration, late = settle(deadline)
+        notes: dict = {}
+        if execution.quorum is not None:
+            target = int(math.ceil(execution.quorum * len(sampled)))
+            notes["quorum_target"] = target
+            if len(received) < target and math.isfinite(deadline):
+                # Degrade gracefully: extend the deadline once (doubling
+                # it) to let near-miss stragglers land.
+                received, rejected, duration, late = settle(deadline * 2)
+                notes["deadline_extended"] = True
+            notes["quorum_met"] = len(received) >= target
+            if not notes["quorum_met"]:
+                # Still unmet: skip the round rather than aggregate a
+                # biased sliver — degrade, never crash.
+                received = []
+        drops["deadline"] = late
+        drops["quarantined"] = len(rejected)
+        for event, update, verdict in rejected:
+            self.emit(Event(event.time_s, UPDATE_REJECTED, event.client_id,
+                            info={"reason": verdict}))
+        #: updates kept in dispatch order — a synchronous server treats the
+        #: round's batch as a set, and dispatch order is the legacy loop's
+        #: accumulation order (the equivalence contract is bit-exact).
         received.sort(key=lambda u: dispatch_order[u.client_id])
-        return received, duration, drops
+        return received, duration, drops, notes
 
 
 class BufferedPolicy(AggregationPolicy):
@@ -380,7 +590,16 @@ class BufferedPolicy(AggregationPolicy):
         #: broadcast + same (seed, version, client) triple would otherwise
         #: double-weight one gradient in the buffer).
         self._version_dispatches: dict[tuple[int, int], int] = {}
+        #: per-client fault-draw counter, separate from both participation
+        #: and version dispatch counts so consulting the fault model never
+        #: shifts any pre-existing stream (zero-fault runs are unchanged).
+        self._fault_counts: dict[int, int] = {}
         self._retry_pending = False
+        self.faults = execution.fault_model(config.seed)
+        if getattr(config, "checkpoint", None) is not None:
+            warnings.warn("checkpointing is not supported by the buffered "
+                          "policy (in-flight futures cannot be snapshotted); "
+                          "running without checkpoints", stacklevel=2)
         self._concurrency = (execution.max_concurrency
                              or self.sample_size(len(self._all_ids)))
         #: hard cap on dispatches — keeps pathological fleets (e.g. dropout
@@ -390,14 +609,14 @@ class BufferedPolicy(AggregationPolicy):
         version = 0
         last_agg_time = 0.0
         buffer: list = []
-        drops = {"dropout": 0, "churn": 0}
+        drops = {"dropout": 0, "churn": 0, "crash": 0, "quarantined": 0}
 
         self._refill(algorithm, 0.0, version, rng)
 
         while self.queue and version < config.num_rounds:
             event = self.emit(self.queue.pop())
             now = event.time_s
-            if event.type == CLIENT_DROPPED:
+            if event.type in (CLIENT_DROPPED, CLIENT_FAILED):
                 self._in_flight.discard(event.client_id)
                 drops[event.info["reason"]] += 1
                 self._refill(algorithm, now, version, rng)
@@ -414,6 +633,23 @@ class BufferedPolicy(AggregationPolicy):
             result = event.info.pop("future").result()
             algorithm.apply_client_state(event.client_id, result.client_state)
             update = result.update
+            plan = event.info.pop("plan", None)
+            if plan is not None:
+                slowed_total = event.info.pop("total", None)
+                if slowed_total is not None and plan.slowdown != 1.0:
+                    update.round_time_s = slowed_total
+                if plan.corrupt is not None:
+                    corrupt_update(update, plan.corrupt,
+                                   self.faults.spec.corrupt_factor)
+            if execution.validate:
+                verdict = validate_update(update, execution.norm_bound)
+                if verdict is not None:
+                    # Quarantine: the upload never reaches the buffer.
+                    drops["quarantined"] += 1
+                    self.emit(Event(now, UPDATE_REJECTED, event.client_id,
+                                    info={"reason": verdict}))
+                    self._refill(algorithm, now, version, rng)
+                    continue
             update.staleness = version - update.version
             update.discount = float(
                 (1.0 + update.staleness) ** -execution.staleness_exponent)
@@ -443,7 +679,7 @@ class BufferedPolicy(AggregationPolicy):
                 "mean_discount": float(np.mean([u.discount for u in buffer])),
             }
             extras.update({f"dropped_{k}": v for k, v in drops.items() if v})
-            drops = {"dropout": 0, "churn": 0}
+            drops = {k: 0 for k in drops}
             history.append(RoundRecord(
                 round_index=version, sim_time_s=agg_time,
                 round_time_s=agg_time - last_agg_time,
@@ -511,7 +747,21 @@ class BufferedPolicy(AggregationPolicy):
         self._dispatches += 1
         ctx = algorithm.clients[cid]
         down, train, up = algorithm.client_time_segments(ctx)
-        total = algorithm.client_round_time_s(ctx)
+        plan = None
+        if self.faults is not None:
+            # Fault plans key on a policy-owned per-client dispatch count:
+            # unlike participation/version counters it exists solely for
+            # the fault stream, so healthy draws are untouched.
+            fault_dispatch = self._fault_counts.get(cid, 0)
+            self._fault_counts[cid] = fault_dispatch + 1
+            plan = self.faults.plan(version, cid, fault_dispatch)
+            if plan.clean:
+                plan = None
+        if plan is not None and plan.slowdown != 1.0:
+            train *= plan.slowdown
+            total = train + (down + up)
+        else:
+            total = algorithm.client_round_time_s(ctx)
         self.queue.push(Event(now, DOWNLOAD_START, cid,
                               info={"version": version}))
         if self.availability.drops_round(cid,
@@ -525,6 +775,12 @@ class BufferedPolicy(AggregationPolicy):
                                   CLIENT_DROPPED, cid,
                                   info={"reason": "churn"}))
             return True
+        if plan is not None and plan.crash:
+            # Injected fault: device dies post-train, pre-upload; the work
+            # is lost either way, so skip the local training too.
+            self.queue.push(Event(now + down + train, CLIENT_FAILED, cid,
+                                  info={"reason": "crash"}))
+            return True
         # Submit the work item now — the broadcast snapshot taken at this
         # instant *is* the staleness semantics (the client downloads the
         # server state at its dispatch timestamp) — and resolve the future
@@ -537,8 +793,14 @@ class BufferedPolicy(AggregationPolicy):
                               dispatch_index=repeat)
         future = executor.submit(item)
         self.queue.push(Event(now + down + train, TRAIN_COMPLETE, cid))
-        self.queue.push(Event(now + total, UPLOAD_COMPLETE, cid,
-                              info={"future": future}))
+        info: dict = {"future": future}
+        if plan is not None:
+            # Stash the plan for the arrival handler (corruption/straggler
+            # bookkeeping happens when the upload lands); popped before the
+            # timeline serialises, so it never reaches the JSON record.
+            info["plan"] = plan
+            info["total"] = total
+        self.queue.push(Event(now + total, UPLOAD_COMPLETE, cid, info=info))
         return True
 
 

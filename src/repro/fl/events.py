@@ -23,8 +23,8 @@ from typing import Any
 
 __all__ = [
     "Event", "DOWNLOAD_START", "TRAIN_COMPLETE", "UPLOAD_COMPLETE",
-    "CLIENT_DROPPED", "SERVER_AGGREGATE", "EVAL_TICK", "EVENT_TYPES",
-    "EventQueue",
+    "CLIENT_DROPPED", "CLIENT_FAILED", "UPDATE_REJECTED",
+    "SERVER_AGGREGATE", "EVAL_TICK", "EVENT_TYPES", "EventQueue",
 ]
 
 #: Typed event kinds (strings so timelines serialise to JSON untouched).
@@ -32,11 +32,18 @@ DOWNLOAD_START = "download_start"
 TRAIN_COMPLETE = "train_complete"
 UPLOAD_COMPLETE = "upload_complete"
 CLIENT_DROPPED = "client_dropped"
+#: fault injection: the device crashed after training, before its upload
+#: landed (:mod:`repro.fl.faults`); info carries ``reason="crash"``.
+CLIENT_FAILED = "client_failed"
+#: coordinator defense: the upload arrived but failed validation and was
+#: quarantined (info carries the reason code).
+UPDATE_REJECTED = "update_rejected"
 SERVER_AGGREGATE = "server_aggregate"
 EVAL_TICK = "eval_tick"
 
 EVENT_TYPES = (DOWNLOAD_START, TRAIN_COMPLETE, UPLOAD_COMPLETE,
-               CLIENT_DROPPED, SERVER_AGGREGATE, EVAL_TICK)
+               CLIENT_DROPPED, CLIENT_FAILED, UPDATE_REJECTED,
+               SERVER_AGGREGATE, EVAL_TICK)
 
 
 @dataclass

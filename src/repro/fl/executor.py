@@ -37,8 +37,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 
 from .seeding import client_rng
@@ -46,11 +49,39 @@ from .seeding import client_rng
 __all__ = ["ScenarioHandle", "ClientWorkItem", "ClientResult",
            "execute_work_item", "Executor", "InlineExecutor",
            "ThreadExecutor", "ProcessExecutor", "EXECUTORS",
-           "make_executor", "resolve_executor_kind", "ExecutorError"]
+           "make_executor", "resolve_executor_kind", "ExecutorError",
+           "TransientExecutorError", "failure_is_transient",
+           "DEFAULT_RETRIES"]
 
 
 class ExecutorError(RuntimeError):
-    """A work item could not be executed (e.g. no scenario to rebuild)."""
+    """A work item could not be executed (e.g. no scenario to rebuild).
+
+    Permanent by default: retrying the same pure item would fail the same
+    way.  Raise :class:`TransientExecutorError` for failures where a retry
+    can plausibly succeed."""
+
+
+class TransientExecutorError(ExecutorError):
+    """An execution failure worth retrying (flaky transport, lost worker)."""
+
+
+#: failure classes a bounded retry may recover from: a broken pool (worker
+#: process died — the pool gets rebuilt), a per-item timeout (hung or
+#: starved worker) and torn IPC (a dying process closes its pipe mid-read).
+#: Everything else — and every plain :class:`ExecutorError` — is permanent:
+#: work items are pure, so a deterministic exception would simply recur.
+TRANSIENT_EXCEPTIONS = (TransientExecutorError, BrokenExecutor,
+                        _FuturesTimeout, TimeoutError, ConnectionError,
+                        EOFError)
+
+#: default bounded-retry budget per work item for pool executors.
+DEFAULT_RETRIES = 2
+
+
+def failure_is_transient(error: BaseException) -> bool:
+    """Transient-vs-permanent classification for executor failures."""
+    return isinstance(error, TRANSIENT_EXCEPTIONS)
 
 
 def spec_content_digest(payload: dict) -> str:
@@ -238,6 +269,10 @@ class Executor:
 
     kind = "base"
     needs_broadcast = True
+    #: hardening knobs (pool executors honour them; inline has no failure
+    #: modes to harden against).
+    timeout_s: float | None = None
+    retries: int = 0
 
     def __init__(self, workers: int = 1):
         self.workers = max(1, int(workers))
@@ -289,7 +324,94 @@ class InlineExecutor(Executor):
             yield execute_work_item(item, self.algorithm)
 
 
-class ThreadExecutor(Executor):
+class _ResilientFuture:
+    """A pool future with bounded, deterministic retry.
+
+    ``result()`` waits at most the executor's ``timeout_s`` per attempt and
+    transparently re-executes the item on transient failures (see
+    :data:`TRANSIENT_EXCEPTIONS`), up to ``retries`` times.  Work items are
+    pure, so a re-execution is byte-identical to what the lost attempt
+    would have produced — hardening is invisible in results, it only trades
+    wall clock for survival.  Permanent failures (and exhausted budgets)
+    propagate unchanged.
+    """
+
+    __slots__ = ("_executor", "_item", "_future", "_generation", "_attempts")
+
+    def __init__(self, executor: "_PoolExecutor", item: ClientWorkItem,
+                 future, generation: int):
+        self._executor = executor
+        self._item = item
+        self._future = future
+        self._generation = generation
+        self._attempts = 0
+
+    def result(self) -> ClientResult:
+        while True:
+            try:
+                return self._future.result(timeout=self._executor.timeout_s)
+            except BaseException as error:  # noqa: BLE001 - classified below
+                if (self._attempts >= self._executor.retries
+                        or not failure_is_transient(error)):
+                    raise
+                self._attempts += 1
+                self._future.cancel()
+                self._future, self._generation = self._executor._recover(
+                    self._item, self._generation, error)
+
+
+class _PoolExecutor(Executor):
+    """Shared machinery of the thread/process pools: a rebuildable pool
+    plus retrying futures.  ``_recover`` is the crash path: when the pool
+    itself broke (a worker process died taking the pool down), it swaps in
+    a fresh pool — exactly once per breakage, guarded by a generation
+    counter so concurrent failed futures don't rebuild N times — and
+    re-dispatches the caller's item; in-flight items each re-dispatch
+    themselves the same way when their own ``result()`` calls observe the
+    breakage."""
+
+    def __init__(self, algorithm=None, workers: int = 2,
+                 timeout_s: float | None = None, retries: int | None = None):
+        super().__init__(workers=workers)
+        self.algorithm = algorithm
+        self.timeout_s = timeout_s
+        self.retries = DEFAULT_RETRIES if retries is None else max(0, int(retries))
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._pool = self._build_pool()
+
+    def _build_pool(self):
+        raise NotImplementedError
+
+    def _submit_raw(self, item: ClientWorkItem):
+        raise NotImplementedError
+
+    def submit(self, item: ClientWorkItem):
+        with self._lock:
+            return _ResilientFuture(self, item, self._submit_raw(item),
+                                    self._generation)
+
+    def _recover(self, item: ClientWorkItem, generation: int,
+                 error: BaseException):
+        """Re-dispatch ``item`` after ``error``, rebuilding a broken pool
+        first; returns the fresh ``(future, generation)``."""
+        with self._lock:
+            if (isinstance(error, BrokenExecutor)
+                    and generation == self._generation):
+                # First observer of this breakage: replace the pool.
+                try:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover - dying pools may throw
+                    pass
+                self._pool = self._build_pool()
+                self._generation += 1
+            return self._submit_raw(item), self._generation
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ThreadExecutor(_PoolExecutor):
     """Thread pool sharing the coordinator's algorithm object.
 
     Work items carry broadcast snapshots, so worker threads never read
@@ -299,43 +421,39 @@ class ThreadExecutor(Executor):
 
     kind = "thread"
 
-    def __init__(self, algorithm=None, workers: int = 2):
-        super().__init__(workers=workers)
-        self.algorithm = algorithm
-        self._pool = _ThreadPool(max_workers=self.workers,
-                                 thread_name_prefix="repro-client")
+    def _build_pool(self):
+        return _ThreadPool(max_workers=self.workers,
+                           thread_name_prefix="repro-client")
 
-    def submit(self, item: ClientWorkItem):
+    def _submit_raw(self, item: ClientWorkItem):
         return self._pool.submit(execute_work_item, item, self.algorithm)
 
-    def close(self) -> None:
-        self._pool.shutdown(wait=True, cancel_futures=True)
 
-
-class ProcessExecutor(Executor):
+class ProcessExecutor(_PoolExecutor):
     """Process pool; workers rebuild and cache the scenario by spec hash."""
 
     kind = "process"
 
-    def __init__(self, algorithm=None, workers: int = 2):
-        super().__init__(workers=workers)
+    def __init__(self, algorithm=None, workers: int = 2,
+                 timeout_s: float | None = None, retries: int | None = None):
         payload = getattr(algorithm, "spec_payload", None)
         if algorithm is not None and payload is None:
             raise ExecutorError(
                 "process executor needs a rebuildable scenario; run this "
                 "simulation through a RunSpec (experiments.runner) or use "
                 "the thread executor")
-        self._pool = _ProcessPool(max_workers=self.workers)
+        super().__init__(algorithm=algorithm, workers=workers,
+                         timeout_s=timeout_s, retries=retries)
 
-    def submit(self, item: ClientWorkItem):
+    def _build_pool(self):
+        return _ProcessPool(max_workers=self.workers)
+
+    def _submit_raw(self, item: ClientWorkItem):
         if item.scenario is None or item.scenario.payload is None:
             raise ExecutorError(
                 "work item carries no rebuildable scenario; the process "
                 "executor cannot serve it")
         return self._pool.submit(execute_work_item, item)
-
-    def close(self) -> None:
-        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 EXECUTORS: dict[str, type[Executor]] = {
@@ -363,14 +481,21 @@ def resolve_executor_kind(kind: str | None, workers: int,
 
 
 def make_executor(algorithm, workers: int = 1,
-                  kind: str | None = "auto") -> Executor:
+                  kind: str | None = "auto",
+                  timeout_s: float | None = None,
+                  retries: int | None = None) -> Executor:
     """Build the executor a simulation should use.
 
     The resolved kind honours the determinism contract automatically —
     whatever comes back, `History` output is identical; only wall-clock
-    and memory profiles differ.
+    and memory profiles differ.  ``timeout_s``/``retries`` tune the pool
+    executors' hardening (per-item result timeout, bounded transparent
+    retry); the inline executor has no failure modes and ignores them.
     """
     has_scenario = getattr(algorithm, "spec_payload", None) is not None
     resolved = resolve_executor_kind(kind, workers, has_scenario)
+    if resolved == "inline":
+        return InlineExecutor(algorithm=algorithm)
     cls = EXECUTORS[resolved]
-    return cls(algorithm=algorithm, workers=workers)
+    return cls(algorithm=algorithm, workers=workers,
+               timeout_s=timeout_s, retries=retries)

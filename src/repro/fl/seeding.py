@@ -28,7 +28,12 @@ import numpy as np
 
 from .. import nn
 
-__all__ = ["client_seed_key", "client_rng", "reseed_dropout"]
+__all__ = ["client_seed_key", "client_rng", "fault_rng", "reseed_dropout"]
+
+#: Salt appended to the seed tuple for fault-injection draws, so a fault
+#: schedule never consumes from — or collides with — the client's training
+#: stream for the same ``(run_seed, round, client_id)`` cell.
+FAULT_STREAM_SALT = 0x5FA17
 
 
 def client_seed_key(run_seed: int, version: int, client_id: int,
@@ -59,6 +64,21 @@ def client_rng(run_seed: int, version: int, client_id: int,
     """
     return np.random.default_rng(
         client_seed_key(run_seed, version, client_id, dispatch))
+
+
+def fault_rng(run_seed: int, version: int, client_id: int,
+              dispatch: int = 0) -> np.random.Generator:
+    """The fault-injection stream for one dispatch of one client.
+
+    Keyed on the same ``(run_seed, round, client_id[, dispatch])`` cell as
+    :func:`client_rng` but salted (:data:`FAULT_STREAM_SALT`), so whether a
+    fault model is consulted never perturbs training randomness — the
+    zero-fault run stays bit-identical — and the fault schedule itself is a
+    pure function of the cell, independent of executors and worker counts.
+    """
+    return np.random.default_rng(
+        (*client_seed_key(run_seed, version, client_id, dispatch),
+         FAULT_STREAM_SALT))
 
 
 def reseed_dropout(model: nn.Module, rng: np.random.Generator) -> None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .aggregation import ExecutionConfig, make_policy, sample_count
+from .checkpoint import CheckpointConfig, make_checkpointer
 from .executor import Executor, make_executor, make_work_item
 from .history import History, RoundRecord
 
@@ -58,6 +59,10 @@ class SimulationConfig:
     #: hashing.
     workers: int = 1
     executor: str = "auto"    # "auto" | "inline" | "thread" | "process"
+    #: crash-safety: periodic atomic snapshots + resume
+    #: (:mod:`repro.fl.checkpoint`).  Purely mechanical — checkpointing is
+    #: invisible in the History, so it never participates in hashing.
+    checkpoint: CheckpointConfig | None = None
 
 
 def sample_clients(num_clients: int, sample_ratio: float,
@@ -88,7 +93,10 @@ def _simulation_executor(algorithm, config: SimulationConfig,
             workers = execution.workers
         if execution.executor is not None:
             kind = execution.executor
-    return make_executor(algorithm, workers=workers, kind=kind)
+    timeout_s = execution.item_timeout_s if execution is not None else None
+    retries = execution.item_retries if execution is not None else None
+    return make_executor(algorithm, workers=workers, kind=kind,
+                         timeout_s=timeout_s, retries=retries)
 
 
 def run_simulation(algorithm, config: SimulationConfig,
@@ -125,7 +133,14 @@ def _run_sync_loop(algorithm, config: SimulationConfig,
     history = History(algorithm=algorithm.name, dataset=algorithm.dataset_name)
     sim_time = 0.0
 
-    for round_index in range(config.num_rounds):
+    start_round = 0
+    checkpointer = make_checkpointer(config.checkpoint)
+    if checkpointer is not None:
+        restored = checkpointer.maybe_resume(algorithm, rng)
+        if restored is not None:
+            history, start_round, sim_time, _ = restored
+
+    for round_index in range(start_round, config.num_rounds):
         sampled = sample_clients(algorithm.num_clients, config.sample_ratio, rng)
         shared = (algorithm.pack_round_broadcast(round_index)
                   if executor.needs_broadcast else None)
@@ -154,11 +169,17 @@ def _run_sync_loop(algorithm, config: SimulationConfig,
             round_index=round_index, sim_time_s=sim_time,
             round_time_s=round_time, train_loss=outcome.mean_train_loss,
             global_accuracy=acc, extras=dict(outcome.extras)))
+        if checkpointer is not None and checkpointer.due(round_index):
+            checkpointer.save(algorithm, rng, history,
+                              next_round=round_index + 1,
+                              sim_time_s=sim_time)
         if (config.stop_at_accuracy is not None and acc is not None
                 and acc >= config.stop_at_accuracy):
             break
 
     history.final_device_accuracies = algorithm.per_device_accuracies()
+    if checkpointer is not None:
+        checkpointer.clear()
     return history
 
 
@@ -177,8 +198,12 @@ def run_event_simulation(algorithm, config: SimulationConfig,
     owns_executor = executor is None
     if executor is None:
         executor = _simulation_executor(algorithm, config, execution)
-    policy = make_policy(config, execution, availability, executor=executor)
     try:
+        # Policy construction happens inside the guard: if it raises, the
+        # just-created thread/process pool must still be shut down rather
+        # than leak workers.
+        policy = make_policy(config, execution, availability,
+                             executor=executor)
         return policy.run(algorithm)
     finally:
         if owns_executor:

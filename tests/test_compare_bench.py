@@ -1,0 +1,59 @@
+"""Tests for results/compare_bench.py: the bench-gate diff tool."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parent.parent / "results" / "compare_bench.py")
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        old = {"runs": {"base": {"results": {"matmul": {"ops_per_sec": 100.0}}}}}
+        new = {"runs": {"base": {"results": {"matmul": {"ops_per_sec": 50.0}}}}}
+        report, regressions, skipped = compare_bench.compare(old, new, 0.2)
+        assert len(report) == 1 and len(regressions) == 1
+        assert skipped == []
+
+    def test_one_sided_ops_warn_and_skip(self):
+        """An op present in only one file is reported, never compared —
+        renaming or adding a benchmark must not fail the gate."""
+        old = {"results": {"kept": {"seconds": 1.0},
+                           "removed": {"seconds": 2.0}}}
+        new = {"results": {"kept": {"seconds": 1.1},
+                           "added": {"seconds": 3.0}}}
+        report, regressions, skipped = compare_bench.compare(old, new, 0.2)
+        assert len(report) == 1      # only the shared op is compared
+        assert regressions == []
+        assert sorted(skipped) == ["results.added.seconds (candidate only)",
+                                   "results.removed.seconds (baseline only)"]
+
+    def test_skip_ignores_directionless_leaves(self):
+        old = {"meta": {"n_iters": 100}, "a": {"seconds": 1.0}}
+        new = {"a": {"seconds": 1.0}}
+        _, _, skipped = compare_bench.compare(old, new, 0.2)
+        assert skipped == []    # n_iters has no direction: not worth a warning
+
+    def test_main_warns_on_stderr_and_still_gates(self, tmp_path, capsys):
+        import json
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"a": {"seconds": 1.0},
+                                   "gone": {"seconds": 9.0}}))
+        new.write_text(json.dumps({"a": {"seconds": 1.05}}))
+        assert compare_bench.main([str(old), str(new)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping" in captured.err and "gone.seconds" in captured.err
+
+    def test_main_fails_on_regression(self, tmp_path, capsys):
+        import json
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"a": {"seconds": 1.0}}))
+        new.write_text(json.dumps({"a": {"seconds": 2.0}}))
+        assert compare_bench.main([str(old), str(new)]) == 1
