@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig6 --datasets cifar100 --algorithms sheterofl,fjord
     python -m repro run fig4 --rounds 10 --availability markov
     python -m repro run fig4 --workers 4           # same bytes, more cores
+    python -m repro run fig4 --log-json --log-level debug
+    python -m repro profile fig4 smoke             # trace + telemetry report
 
 Artifacts come from the registry (:mod:`repro.experiments.registry`) —
 every ``@register_artifact`` module is auto-discovered.  Runs are cached
@@ -16,6 +18,12 @@ content-addressed under ``results/cache`` (``--cache-dir`` to relocate,
 shared cell — the FedAvg-smallest baseline — is computed once across
 figures.
 
+``profile`` runs an artifact under a telemetry session
+(:mod:`repro.telemetry`): it writes a Chrome-trace JSON loadable in
+Perfetto / ``chrome://tracing`` and prints the sectioned telemetry report
+instead of the artifact's own rows.  Telemetry is observation-only, so the
+profiled run produces byte-identical histories to a plain ``run``.
+
 The historical positional form (``python -m repro fig4 demo``) keeps
 working as a deprecated alias for ``run fig4 --scale demo``.
 """
@@ -23,7 +31,10 @@ working as a deprecated alias for ``run fig4 --scale demo``.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
+from pathlib import Path
 
 from .experiments.cache import (DEFAULT_CACHE_DIR, RunCache,
                                 set_default_cache)
@@ -32,8 +43,17 @@ from .experiments.reporting import write_rows
 from .experiments.runner import (DEFAULT_CHECKPOINT_DIR, Checkpointing,
                                  set_default_checkpointing,
                                  set_default_parallelism)
+from .telemetry.logs import LOG_LEVELS, configure_logging, get_logger
+from .telemetry.report import report_rows
+from .telemetry.runtime import telemetry_session
+from .telemetry.tracing import validate_chrome_trace
 
-_SUBCOMMANDS = ("list", "describe", "run")
+_SUBCOMMANDS = ("list", "describe", "run", "profile")
+
+#: where ``repro profile`` drops traces unless ``--trace-out`` overrides it.
+DEFAULT_PROFILE_DIR = Path("results") / "profile"
+
+_log = get_logger("cli")
 
 
 def _parse_int_list(text: str) -> list[int]:
@@ -48,10 +68,88 @@ def _parse_str_list(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _logging_options() -> argparse.ArgumentParser:
+    """Shared ``--log-*`` flags, usable before or after the subcommand.
+
+    Defaults are ``SUPPRESS`` so a subparser never overwrites a value the
+    user set at the top level (``repro --log-level debug run fig4`` and
+    ``repro run fig4 --log-level debug`` both work); :func:`main` reads
+    them with ``getattr`` fallbacks.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("logging")
+    group.add_argument("--log-level", choices=LOG_LEVELS,
+                       default=argparse.SUPPRESS,
+                       help="stderr log verbosity (default: info)")
+    group.add_argument("--log-json", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="emit log lines as JSON objects")
+    group.add_argument("--quiet", "-q", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="only errors on stderr (alias for "
+                            "--log-level error)")
+    return parent
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The options ``run`` and ``profile`` share (everything that shapes
+    what executes: scale, sweep axes, cache, parallelism, checkpoints)."""
+    parser.add_argument("--scale", default=None,
+                        help="scale preset: smoke | demo | paper "
+                             "(default: the artifact's own)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="single RNG seed (default 0)")
+    parser.add_argument("--seeds", type=_parse_int_list, default=None,
+                        metavar="0,1,2",
+                        help="seed sweep; cells render as mean ± std")
+    parser.add_argument("--datasets", type=_parse_str_list, default=None,
+                        metavar="D1,D2", help="restrict to these datasets")
+    parser.add_argument("--algorithms", type=_parse_str_list, default=None,
+                        metavar="A1,A2",
+                        help="restrict to these algorithms")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the scale's num_rounds")
+    parser.add_argument("--availability", default=None,
+                        choices=("always_on", "diurnal", "markov",
+                                 "dropout"),
+                        help="fleet availability scenario")
+    parser.add_argument("--out", default="table",
+                        choices=("table", "json", "csv"),
+                        help="output format (default: table)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"run-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the run cache entirely")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="parallel workers: sweep cells fan out across "
+                             "a process pool (single cells parallelise "
+                             "their clients instead); results are "
+                             "identical for any N")
+    parser.add_argument("--executor", default=None,
+                        choices=("auto", "inline", "thread", "process"),
+                        help="within-cell client executor (default: auto — "
+                             "inline for 1 worker, processes otherwise)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="snapshot each run every N rounds so an "
+                             "interrupted invocation can be resumed "
+                             "(default: off)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help=f"where run snapshots live "
+                             f"(default: {DEFAULT_CHECKPOINT_DIR})")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume each cell from its snapshot when one "
+                             "exists (implies --checkpoint-every 1 unless "
+                             "given)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    logging_options = _logging_options()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate PracMHBench paper artifacts.")
+        description="Regenerate PracMHBench paper artifacts.",
+        parents=[logging_options])
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("list", help="list registered artifacts")
@@ -59,59 +157,40 @@ def _build_parser() -> argparse.ArgumentParser:
     describe = sub.add_parser("describe", help="show one artifact's details")
     describe.add_argument("artifact")
 
-    run = sub.add_parser("run", help="execute an artifact")
+    run = sub.add_parser("run", help="execute an artifact",
+                         parents=[logging_options])
     run.add_argument("artifact")
-    run.add_argument("--scale", default=None,
-                     help="scale preset: smoke | demo | paper "
-                          "(default: the artifact's own)")
-    run.add_argument("--seed", type=int, default=None,
-                     help="single RNG seed (default 0)")
-    run.add_argument("--seeds", type=_parse_int_list, default=None,
-                     metavar="0,1,2",
-                     help="seed sweep; cells render as mean ± std")
-    run.add_argument("--datasets", type=_parse_str_list, default=None,
-                     metavar="D1,D2", help="restrict to these datasets")
-    run.add_argument("--algorithms", type=_parse_str_list, default=None,
-                     metavar="A1,A2", help="restrict to these algorithms")
-    run.add_argument("--rounds", type=int, default=None,
-                     help="override the scale's num_rounds")
-    run.add_argument("--availability", default=None,
-                     choices=("always_on", "diurnal", "markov", "dropout"),
-                     help="fleet availability scenario")
-    run.add_argument("--out", default="table",
-                     choices=("table", "json", "csv"),
-                     help="output format (default: table)")
-    run.add_argument("--cache-dir", default=None, metavar="DIR",
-                     help=f"run-cache directory "
-                          f"(default: {DEFAULT_CACHE_DIR})")
-    run.add_argument("--no-cache", action="store_true",
-                     help="bypass the run cache entirely")
-    run.add_argument("--workers", type=int, default=None, metavar="N",
-                     help="parallel workers: sweep cells fan out across a "
-                          "process pool (single cells parallelise their "
-                          "clients instead); results are identical for "
-                          "any N")
-    run.add_argument("--executor", default=None,
-                     choices=("auto", "inline", "thread", "process"),
-                     help="within-cell client executor (default: auto — "
-                          "inline for 1 worker, processes otherwise)")
-    run.add_argument("--checkpoint-every", type=int, default=None,
-                     metavar="N",
-                     help="snapshot each run every N rounds so an "
-                          "interrupted invocation can be resumed "
-                          "(default: off)")
-    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
-                     help=f"where run snapshots live "
-                          f"(default: {DEFAULT_CHECKPOINT_DIR})")
-    run.add_argument("--resume", action="store_true",
-                     help="resume each cell from its snapshot when one "
-                          "exists (implies --checkpoint-every 1 unless "
-                          "given)")
+    _add_run_options(run)
+
+    profile = sub.add_parser(
+        "profile", parents=[logging_options],
+        help="execute an artifact under telemetry: Chrome trace + report",
+        description="Run an artifact with runtime telemetry enabled, "
+                    "write a Perfetto-loadable Chrome-trace JSON and "
+                    "print the telemetry report (spans, counters, cache "
+                    "hit rate, per-round timings) instead of the "
+                    "artifact's rows.  Use --no-cache to force real "
+                    "execution — cache-served cells contribute no "
+                    "timing spans.")
+    profile.add_argument("artifact")
+    profile.add_argument("scale_pos", nargs="?", metavar="scale",
+                         help="positional shorthand for --scale")
+    _add_run_options(profile)
+    profile.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="Chrome-trace destination (default: "
+                              f"{DEFAULT_PROFILE_DIR}/<artifact>-<scale>"
+                              ".trace.json)")
+    profile.add_argument("--telemetry-out", default=None, metavar="FILE",
+                         help="also dump the full telemetry payload "
+                              "(metrics/spans/rounds) as JSON")
+    profile.add_argument("--memory", action="store_true",
+                         help="trace peak memory per top-level span "
+                              "(tracemalloc; slows the run)")
     return parser
 
 
 def _warn(message: str) -> None:
-    print(f"note: {message}", file=sys.stderr)
+    _log.warning("note: %s", message)
 
 
 def _cmd_list() -> int:
@@ -129,7 +208,7 @@ def _cmd_describe(name: str) -> int:
     try:
         artifact = get_artifact(name)
     except ValueError as error:
-        print(error, file=sys.stderr)
+        _log.error("%s", error)
         return 2
     import importlib
     module = importlib.import_module(artifact.module)
@@ -192,13 +271,14 @@ def _artifact_kwargs(artifact, args) -> dict:
     return kwargs
 
 
-def _cmd_run(args) -> int:
-    try:
-        artifact = get_artifact(args.artifact)
-    except ValueError as error:
-        print(error, file=sys.stderr)
-        return 2
-    kwargs = _artifact_kwargs(artifact, args)
+@contextlib.contextmanager
+def _run_defaults(args):
+    """Install the process-wide cache/parallelism/checkpoint defaults an
+    artifact run should see; restore the previous ones on exit.
+
+    Yields the active :class:`RunCache` (or ``None``) so the caller can
+    report hit/miss counts afterwards.
+    """
     cache = None if args.no_cache else RunCache(args.cache_dir
                                                 or DEFAULT_CACHE_DIR)
     checkpointing = None
@@ -220,34 +300,95 @@ def _cmd_run(args) -> int:
         executor=args.executor or "auto")
     previous_checkpointing = set_default_checkpointing(checkpointing)
     try:
-        rows = artifact.run(**kwargs)
+        yield cache
     finally:
         set_default_cache(previous)
         set_default_parallelism(previous_parallelism.workers,
                                 previous_parallelism.executor)
         set_default_checkpointing(previous_checkpointing)
+
+
+def _report_cache(cache: RunCache | None) -> None:
+    # The exact "# cache: ..." text is part of the CLI contract (CI and
+    # tests grep stderr for it), so it rides through the logger verbatim.
+    if cache is not None:
+        _log.info("# cache: hits=%d misses=%d dir=%s",
+                  cache.hits, cache.misses, cache.directory)
+
+
+def _cmd_run(args) -> int:
+    try:
+        artifact = get_artifact(args.artifact)
+    except ValueError as error:
+        _log.error("%s", error)
+        return 2
+    kwargs = _artifact_kwargs(artifact, args)
+    with _run_defaults(args) as cache:
+        rows = artifact.run(**kwargs)
     print(write_rows(rows, out=args.out, title=artifact.title,
                      render=artifact.render, **artifact.render_kwargs))
-    if cache is not None:
-        print(f"# cache: hits={cache.hits} misses={cache.misses} "
-              f"dir={cache.directory}", file=sys.stderr)
+    _report_cache(cache)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    try:
+        artifact = get_artifact(args.artifact)
+    except ValueError as error:
+        _log.error("%s", error)
+        return 2
+    if args.scale_pos is not None and args.scale is None:
+        args.scale = args.scale_pos
+    kwargs = _artifact_kwargs(artifact, args)
+    meta = {"artifact": artifact.name}
+    if args.scale is not None:
+        meta["scale"] = args.scale
+    with _run_defaults(args) as cache:
+        with telemetry_session(meta=meta,
+                               trace_memory=args.memory) as session:
+            # The artifact's rows are not the product here — the
+            # telemetry collected around them is.
+            artifact.run(**kwargs)
+    trace = session.chrome_trace()
+    validate_chrome_trace(trace)
+    trace_path = (Path(args.trace_out) if args.trace_out else
+                  DEFAULT_PROFILE_DIR
+                  / f"{artifact.name}-{args.scale or 'default'}.trace.json")
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    trace_path.write_text(json.dumps(trace, indent=1))
+    if args.telemetry_out is not None:
+        telemetry_path = Path(args.telemetry_out)
+        telemetry_path.parent.mkdir(parents=True, exist_ok=True)
+        telemetry_path.write_text(json.dumps(session.to_dict(), indent=1))
+        _log.info("telemetry written to %s", telemetry_path)
+    print(write_rows(report_rows(session), out=args.out,
+                     title=f"Profile: {artifact.name}"))
+    _report_cache(cache)
+    if cache is not None and cache.hits and not cache.misses:
+        _warn("every cell was cache-served; rerun with --no-cache for "
+              "real execution timings")
+    _log.info("trace written to %s (load in Perfetto or chrome://tracing)",
+              trace_path)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
+    # Default logging config so pre-parse warnings/errors are visible;
+    # reconfigured below once the flags are known.
+    configure_logging()
     parser = _build_parser()
     if not argv:
         parser.print_help()
         print()
         return _cmd_list()
     head = argv[0]
-    if head not in _SUBCOMMANDS and head not in ("-h", "--help"):
+    if head not in _SUBCOMMANDS and not head.startswith("-"):
         # Deprecated positional form: `python -m repro fig4 [demo]`.
         try:
             get_artifact(head)
         except ValueError as error:
-            print(error, file=sys.stderr)
+            _log.error("%s", error)
             return 2
         translated = ["run", head]
         rest = argv[1:]
@@ -259,12 +400,18 @@ def main(argv: list[str] | None = None) -> int:
               f"use `python -m repro {' '.join(translated)}`")
         argv = translated
     args = parser.parse_args(argv)
+    level = ("error" if getattr(args, "quiet", False)
+             else getattr(args, "log_level", "info"))
+    configure_logging(level=level,
+                      json_format=getattr(args, "log_json", False))
     if args.command == "list":
         return _cmd_list()
     if args.command == "describe":
         return _cmd_describe(args.artifact)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     parser.print_help()
     return 0
 

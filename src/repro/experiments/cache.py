@@ -24,10 +24,14 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..fl.serialization import history_from_dict, history_to_dict
+from ..telemetry import runtime as telemetry
+from ..telemetry.logs import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..fl.history import History
     from .spec import RunSpec
+
+_log = get_logger("cache")
 
 __all__ = ["RunCache", "CachedRun", "DEFAULT_CACHE_DIR",
            "default_cache", "set_default_cache"]
@@ -37,6 +41,32 @@ CACHE_VERSION = 1
 
 #: where the CLI keeps run artifacts unless ``--cache-dir`` overrides it.
 DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+def _atomic_write_text(directory: Path, path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via a unique temp file + atomic rename.
+
+    Concurrency-safe for parallel sweep cells sharing one cache directory:
+    bytes never interleave, readers never see a half-written file, and
+    same-content racers each publish a complete file (last rename wins).
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=directory,
+                                    prefix=f".{path.stem}-",
+                                    suffix=".tmp")
+    try:
+        # mkstemp creates 0600; published entries should get the usual
+        # umask-governed mode so shared cache dirs stay shareable.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
 
 
 class CachedRun:
@@ -66,6 +96,10 @@ class RunCache:
     def path_for(self, spec: "RunSpec") -> Path:
         return self.directory / f"{spec.content_hash()}.json"
 
+    def telemetry_path_for(self, spec: "RunSpec") -> Path:
+        """Where a run's telemetry serialises, next to its cache entry."""
+        return self.directory / f"{spec.content_hash()}.telemetry.json"
+
     def get(self, spec: "RunSpec") -> CachedRun | None:
         """The cached run for ``spec``, or ``None`` on a miss.
 
@@ -77,12 +111,16 @@ class RunCache:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             self.misses += 1
+            telemetry.inc("cache.misses")
             return None
         if (payload.get("cache_version") != CACHE_VERSION
                 or payload.get("spec") != spec.to_dict()):
             self.misses += 1
+            telemetry.inc("cache.misses")
             return None
         self.hits += 1
+        telemetry.inc("cache.hits")
+        _log.debug("cache hit %s", path.name)
         return CachedRun(history=history_from_dict(payload["history"]),
                          num_classes=payload.get("num_classes"),
                          level_distribution=payload.get("level_distribution"))
@@ -92,14 +130,11 @@ class RunCache:
             level_distribution: dict | None = None) -> Path:
         """Persist a finished run; returns the entry path.
 
-        Concurrency-safe: the payload goes to a *uniquely named* temp file
-        in the cache directory, then an atomic rename publishes it.
-        Parallel sweep cells (multiple processes writing the shared cache)
-        can therefore never interleave bytes or expose a half-written
-        entry; same-cell racers each publish a complete, identical file
-        and the last rename wins.
+        Concurrency-safe via :func:`_atomic_write_text`: parallel sweep
+        cells (multiple processes writing the shared cache) can never
+        interleave bytes or expose a half-written entry; same-cell racers
+        each publish a complete, identical file and the last rename wins.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
         payload = {
             "cache_version": CACHE_VERSION,
@@ -111,22 +146,24 @@ class RunCache:
         # Serialise before touching the filesystem: an unserialisable
         # payload then raises without ever creating a temp file.
         text = json.dumps(payload, indent=1)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
-                                        prefix=f".{path.stem}-",
-                                        suffix=".tmp")
-        try:
-            # mkstemp creates 0600; published entries should get the usual
-            # umask-governed mode so shared cache dirs stay shareable.
-            umask = os.umask(0)
-            os.umask(umask)
-            os.fchmod(fd, 0o666 & ~umask)
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        _atomic_write_text(self.directory, path, text)
+        telemetry.inc("cache.puts")
+        return path
+
+    def put_telemetry(self, spec: "RunSpec", payload: dict) -> Path:
+        """Persist a run's telemetry next to its cache entry.
+
+        ``payload`` is a :meth:`~repro.telemetry.runtime.RunTelemetry.
+        to_dict` dict; it lands at ``<content_hash>.telemetry.json`` with
+        the same atomic-rename discipline as run entries.  Telemetry is
+        wall-clock-dependent by nature, so unlike run entries a newer
+        profile of the same cell simply replaces the older one.
+        """
+        path = self.telemetry_path_for(spec)
+        text = json.dumps({"cache_version": CACHE_VERSION,
+                           "spec": spec.to_dict(),
+                           "telemetry": payload}, indent=1)
+        _atomic_write_text(self.directory, path, text)
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

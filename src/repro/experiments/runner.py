@@ -40,6 +40,8 @@ from ..fl.history import History
 from ..fl.serialization import history_from_dict, history_to_dict
 from ..fl.simulation import SimulationConfig, run_simulation
 from ..metrics import MetricSummary, aggregate_summaries, summarize
+from ..telemetry import runtime as telemetry
+from ..telemetry.logs import get_logger
 from .cache import RunCache, default_cache
 from .mapping import build_base_model
 from .scales import ExperimentScale, get_scale
@@ -51,6 +53,8 @@ __all__ = ["RunResult", "execute_spec", "execute_specs", "prepare_scenario",
            "default_parallelism", "set_default_parallelism",
            "Checkpointing", "default_checkpointing",
            "set_default_checkpointing", "DEFAULT_CHECKPOINT_DIR"]
+
+_log = get_logger("runner")
 
 
 class _Default:
@@ -263,16 +267,41 @@ def execute_spec(spec: RunSpec, *, cache=DEFAULT,
     if cache is not None and (mutate or execution_factory) and not spec.tag:
         raise ValueError("mutate/execution_factory alter the run beyond the "
                          "spec; set spec.tag so it caches under its own hash")
+    meta = ({"spec": spec.content_hash(), "label": spec.label}
+            if telemetry.enabled() else {})
+    with telemetry.run_scope(**meta) as scope, \
+            telemetry.span("execute_spec", algorithm=spec.algorithm,
+                           dataset=spec.dataset, seed=spec.seed):
+        result = _execute_spec_live(spec, cache, mutate, execution_factory)
+        if scope is not None and cache is not None and not result.from_cache:
+            # The run-scope child holds exactly this run's telemetry;
+            # serialise it next to the cache entry before the scope merges
+            # back into the session collector.
+            cache.put_telemetry(spec, scope.to_dict())
+    return result
+
+
+def _execute_spec_live(spec: RunSpec, cache: RunCache | None,
+                       mutate: Callable | None,
+                       execution_factory: Callable | None) -> RunResult:
+    """The cache-then-simulate body of :func:`execute_spec`."""
     if cache is not None:
         entry = cache.get(spec)
         if entry is not None:
+            _log.info("cell %s served from cache", spec.label,
+                      extra={"spec": spec.content_hash(),
+                             "from_cache": True})
             return RunResult(history=entry.history, scenario=None,
                              num_classes=entry.num_classes, spec=spec,
                              from_cache=True,
                              _cached_levels=entry.level_distribution)
 
+    _log.info("running cell %s", spec.label,
+              extra={"spec": spec.content_hash(), "from_cache": False})
     scale = spec.resolved_scale()
-    scenario, dataset = prepare_scenario(spec)
+    with telemetry.span("prepare_scenario", algorithm=spec.algorithm,
+                        dataset=spec.dataset):
+        scenario, dataset = prepare_scenario(spec)
     if mutate is not None:
         # The live object now diverges from what the spec would rebuild,
         # so process-pool workers must not rebuild from it.
@@ -289,7 +318,9 @@ def execute_spec(spec: RunSpec, *, cache=DEFAULT,
                            execution=execution,
                            workers=workers, executor=executor_kind,
                            checkpoint=_spec_checkpoint(spec))
-    history = run_simulation(scenario.algorithm, sim)
+    with telemetry.span("run_simulation", algorithm=spec.algorithm,
+                        dataset=spec.dataset, seed=spec.seed):
+        history = run_simulation(scenario.algorithm, sim)
     result = RunResult(history=history, scenario=scenario,
                        num_classes=dataset.num_classes, spec=spec)
     if cache is not None:
@@ -348,20 +379,29 @@ def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
 
     cache_dir = None if cache is None else str(cache.directory)
     results: list[RunResult] = []
+    _log.info("sweeping %d cells across %d workers", len(specs),
+              min(sweep_workers, len(specs)))
     with ProcessPoolExecutor(
             max_workers=min(sweep_workers, len(specs))) as pool:
         futures = [pool.submit(_execute_spec_payload,
                                spec.to_dict(), cache_dir)
                    for spec in specs]
         for spec, future in zip(specs, futures):
-            payload = future.result()
+            with telemetry.span("sweep_cell", algorithm=spec.algorithm,
+                                dataset=spec.dataset, seed=spec.seed):
+                payload = future.result()
             if cache is not None:
                 # Keep the parent's hit/miss counters meaningful: the
-                # worker did the lookup, the parent reports it.
+                # worker did the lookup, the parent reports it.  (Telemetry
+                # counters mirror this — a sweep worker is a fresh process
+                # with no collector, so its lookups would otherwise be
+                # invisible to a profiling session.)
                 if payload["from_cache"]:
                     cache.hits += 1
+                    telemetry.inc("cache.hits")
                 else:
                     cache.misses += 1
+                    telemetry.inc("cache.misses")
             results.append(RunResult(
                 history=history_from_dict(payload["history"]),
                 scenario=None, num_classes=payload["num_classes"],

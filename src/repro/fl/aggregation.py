@@ -29,11 +29,14 @@ any worker count.
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import runtime as telemetry
+from ..telemetry.logs import get_logger
 from .availability import AvailabilityModel, make_availability
 from .checkpoint import make_checkpointer
 from .events import (CLIENT_DROPPED, CLIENT_FAILED, DOWNLOAD_START,
@@ -47,6 +50,8 @@ from .history import History, RoundRecord
 __all__ = ["ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
            "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
            "sample_count", "validate_update"]
+
+_log = get_logger("aggregation")
 
 
 def sample_count(num_clients: int, sample_ratio: float) -> int:
@@ -294,6 +299,26 @@ class AggregationPolicy:
             self.executor = InlineExecutor(algorithm)
         return self.executor
 
+    def _record_run_telemetry(self, history: History,
+                              wall_start: float) -> None:
+        """End-of-run gauges: sim-vs-wall-clock skew and queue statistics.
+
+        Observation-only and computed from values the run produced anyway;
+        a no-op (beyond one ``enabled()`` check) when telemetry is off.
+        """
+        if not telemetry.enabled():
+            return
+        wall_s = time.perf_counter() - wall_start
+        sim_s = (history.records[-1].sim_time_s if history.records else 0.0)
+        telemetry.set_gauge("simulation.wall_s", wall_s, policy=self.name)
+        telemetry.set_gauge("simulation.sim_s", sim_s, policy=self.name)
+        if wall_s > 0:
+            # >1 means the simulated clock outruns the wall clock.
+            telemetry.set_gauge("simulation.sim_speedup", sim_s / wall_s,
+                                policy=self.name)
+        telemetry.max_gauge("events.queue_depth_max", self.queue.max_depth)
+        telemetry.inc("events.pushed", self.queue.pushed)
+
     def sample_size(self, num_clients: int) -> int:
         return sample_count(num_clients, self.sim_config.sample_ratio)
 
@@ -317,6 +342,7 @@ class SynchronousPolicy(AggregationPolicy):
 
     def run(self, algorithm) -> History:
         config, execution = self.sim_config, self.execution
+        wall_start = time.perf_counter()
         rng = np.random.default_rng(config.seed)
         history = History(algorithm=algorithm.name,
                           dataset=algorithm.dataset_name)
@@ -347,11 +373,17 @@ class SynchronousPolicy(AggregationPolicy):
                 break
 
             sampled = self._sample(online, len(all_ids), rng)
-            received, duration, drops, notes = self._dispatch_round(
-                algorithm, sampled, round_index, sim_time, rng)
+            with telemetry.span("dispatch_round", round=round_index):
+                received, duration, drops, notes = self._dispatch_round(
+                    algorithm, sampled, round_index, sim_time, rng)
+            for reason, count in drops.items():
+                if count:
+                    telemetry.inc("aggregation.dropped", count,
+                                  reason=reason)
 
-            outcome = (algorithm.ingest(received, round_index, rng)
-                       if received else None)
+            with telemetry.span("aggregate", round=round_index):
+                outcome = (algorithm.ingest(received, round_index, rng)
+                           if received else None)
             mean_loss = outcome.mean_train_loss if outcome else 0.0
             round_time = duration + config.server_overhead_s
             sim_time = sim_time + round_time
@@ -361,7 +393,8 @@ class SynchronousPolicy(AggregationPolicy):
 
             acc = None
             if self.is_eval_round(round_index):
-                acc = algorithm.evaluate_global()
+                with telemetry.span("evaluate", round=round_index):
+                    acc = algorithm.evaluate_global()
                 self.emit(Event(sim_time, EVAL_TICK,
                                 info={"round": round_index, "accuracy": acc}))
             extras = dict(outcome.extras) if outcome else {}
@@ -369,11 +402,14 @@ class SynchronousPolicy(AggregationPolicy):
                            "received": len(received)})
             extras.update({f"dropped_{k}": v for k, v in drops.items() if v})
             extras.update(notes)
-            history.append(RoundRecord(
+            record = RoundRecord(
                 round_index=round_index, sim_time_s=sim_time,
                 round_time_s=round_time, train_loss=mean_loss,
                 global_accuracy=acc, extras=extras,
-                events=self.take_timeline()))
+                events=self.take_timeline())
+            history.append(record)
+            telemetry.record_round(record)
+            telemetry.inc("aggregation.rounds", policy=self.name)
             if checkpointer is not None and checkpointer.due(round_index):
                 checkpointer.save(algorithm, rng, history,
                                   next_round=round_index + 1,
@@ -385,6 +421,7 @@ class SynchronousPolicy(AggregationPolicy):
         history.final_device_accuracies = algorithm.per_device_accuracies()
         if checkpointer is not None:
             checkpointer.clear()
+        self._record_run_telemetry(history, wall_start)
         return history
 
     # -- helpers --------------------------------------------------------
@@ -483,7 +520,10 @@ class SynchronousPolicy(AggregationPolicy):
                                 executor.needs_broadcast,
                                 shared_broadcast=shared)
                  for cid in to_train]
+        wall_timings: dict[int, dict] = {}
         for cid, result in zip(to_train, executor.run_batch(items)):
+            if result.timing is not None:
+                wall_timings[cid] = result.timing
             algorithm.apply_client_state(cid, result.client_state)
             trained_at, total = timings[cid]
             plan = plans.get(cid)
@@ -554,16 +594,26 @@ class SynchronousPolicy(AggregationPolicy):
                 # it) to let near-miss stragglers land.
                 received, rejected, duration, late = settle(deadline * 2)
                 notes["deadline_extended"] = True
+                telemetry.inc("aggregation.quorum_extended")
+                _log.info("round %d: quorum %d/%d unmet at deadline; "
+                          "extended once", round_index, len(received), target)
             notes["quorum_met"] = len(received) >= target
             if not notes["quorum_met"]:
                 # Still unmet: skip the round rather than aggregate a
                 # biased sliver — degrade, never crash.
+                telemetry.inc("aggregation.rounds_skipped")
+                _log.warning("round %d: quorum %d/%d unmet after extension; "
+                             "round skipped", round_index, len(received),
+                             target)
                 received = []
         drops["deadline"] = late
         drops["quarantined"] = len(rejected)
         for event, update, verdict in rejected:
+            telemetry.inc("aggregation.quarantined", reason=verdict)
             self.emit(Event(event.time_s, UPDATE_REJECTED, event.client_id,
                             info={"reason": verdict}))
+        if wall_timings:
+            notes["client_timings"] = wall_timings
         #: updates kept in dispatch order — a synchronous server treats the
         #: round's batch as a set, and dispatch order is the legacy loop's
         #: accumulation order (the equivalence contract is bit-exact).
@@ -578,6 +628,7 @@ class BufferedPolicy(AggregationPolicy):
 
     def run(self, algorithm) -> History:
         config, execution = self.sim_config, self.execution
+        wall_start = time.perf_counter()
         rng = np.random.default_rng(config.seed)
         history = History(algorithm=algorithm.name,
                           dataset=algorithm.dataset_name)
@@ -610,6 +661,8 @@ class BufferedPolicy(AggregationPolicy):
         last_agg_time = 0.0
         buffer: list = []
         drops = {"dropout": 0, "churn": 0, "crash": 0, "quarantined": 0}
+        #: wall-clock records of updates arrived since the last aggregation.
+        round_timings: dict[int, dict] = {}
 
         self._refill(algorithm, 0.0, version, rng)
 
@@ -631,6 +684,8 @@ class BufferedPolicy(AggregationPolicy):
 
             self._in_flight.discard(event.client_id)
             result = event.info.pop("future").result()
+            if result.timing is not None:
+                round_timings[event.client_id] = result.timing
             algorithm.apply_client_state(event.client_id, result.client_state)
             update = result.update
             plan = event.info.pop("plan", None)
@@ -646,6 +701,7 @@ class BufferedPolicy(AggregationPolicy):
                 if verdict is not None:
                     # Quarantine: the upload never reaches the buffer.
                     drops["quarantined"] += 1
+                    telemetry.inc("aggregation.quarantined", reason=verdict)
                     self.emit(Event(now, UPDATE_REJECTED, event.client_id,
                                     info={"reason": verdict}))
                     self._refill(algorithm, now, version, rng)
@@ -653,6 +709,8 @@ class BufferedPolicy(AggregationPolicy):
             update.staleness = version - update.version
             update.discount = float(
                 (1.0 + update.staleness) ** -execution.staleness_exponent)
+            telemetry.observe("aggregation.staleness", update.staleness)
+            telemetry.observe("aggregation.discount", update.discount)
             event.info["staleness"] = update.staleness
             event.info["discount"] = update.discount
             buffer.append(update)
@@ -661,13 +719,15 @@ class BufferedPolicy(AggregationPolicy):
                 continue
 
             # Buffer full: aggregate, advance the server version.
-            outcome = algorithm.ingest(buffer, version, rng)
+            with telemetry.span("aggregate", round=version):
+                outcome = algorithm.ingest(buffer, version, rng)
             agg_time = now + config.server_overhead_s
             self.emit(Event(agg_time, SERVER_AGGREGATE,
                             info={"round": version, "received": len(buffer)}))
             acc = None
             if self.is_eval_round(version):
-                acc = algorithm.evaluate_global()
+                with telemetry.span("evaluate", round=version):
+                    acc = algorithm.evaluate_global()
                 self.emit(Event(agg_time, EVAL_TICK,
                                 info={"round": version, "accuracy": acc}))
             staleness = [u.staleness for u in buffer]
@@ -680,11 +740,17 @@ class BufferedPolicy(AggregationPolicy):
             }
             extras.update({f"dropped_{k}": v for k, v in drops.items() if v})
             drops = {k: 0 for k in drops}
-            history.append(RoundRecord(
+            if round_timings:
+                extras["client_timings"] = round_timings
+                round_timings = {}
+            record = RoundRecord(
                 round_index=version, sim_time_s=agg_time,
                 round_time_s=agg_time - last_agg_time,
                 train_loss=outcome.mean_train_loss, global_accuracy=acc,
-                extras=extras, events=self.take_timeline()))
+                extras=extras, events=self.take_timeline())
+            history.append(record)
+            telemetry.record_round(record)
+            telemetry.inc("aggregation.rounds", policy=self.name)
             last_agg_time = agg_time
             buffer = []
             version += 1
@@ -713,6 +779,7 @@ class BufferedPolicy(AggregationPolicy):
                     key = f"dropped_{reason}"
                     tail[key] = tail.get(key, 0) + count
         history.final_device_accuracies = algorithm.per_device_accuracies()
+        self._record_run_telemetry(history, wall_start)
         return history
 
     # -- helpers --------------------------------------------------------

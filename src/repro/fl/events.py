@@ -76,11 +76,20 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+    """Min-heap of :class:`Event` ordered by (time, insertion order).
+
+    The queue keeps two cheap lifetime statistics — ``pushed`` (total
+    events ever enqueued) and ``max_depth`` (peak heap size) — that the
+    aggregation policies report through the telemetry layer at the end of
+    a run.  Tracking is two integer updates per push, so the hot path
+    stays telemetry-free.
+    """
 
     def __init__(self):
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        self.pushed = 0
+        self.max_depth = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -90,6 +99,9 @@ class EventQueue:
 
     def push(self, event: Event) -> Event:
         heapq.heappush(self._heap, (event.time_s, next(self._counter), event))
+        self.pushed += 1
+        if len(self._heap) > self.max_depth:
+            self.max_depth = len(self._heap)
         return event
 
     def pop(self) -> Event:

@@ -38,13 +38,18 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 
+from ..telemetry import runtime as telemetry
+from ..telemetry.logs import get_logger
 from .seeding import client_rng
+
+_log = get_logger("executor")
 
 __all__ = ["ScenarioHandle", "ClientWorkItem", "ClientResult",
            "execute_work_item", "Executor", "InlineExecutor",
@@ -147,6 +152,12 @@ class ClientResult:
     #: persistent per-client state (FedProto/Fed-ET personal models) the
     #: coordinator must absorb via ``apply_client_state``.
     client_state: dict | None = None
+    #: wall-clock accounting for this item (``execute_s`` measured at the
+    #: worker, ``wait_s``/``total_s``/``retries`` filled in by the
+    #: coordinator's future wrapper).  Picklable, so process-pool workers'
+    #: measurements ride back with the result; never serialised into a
+    #: History (see ``VOLATILE_EXTRA_KEYS`` in :mod:`repro.fl.serialization`).
+    timing: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -191,11 +202,30 @@ def execute_work_item(item: ClientWorkItem, algorithm=None) -> ClientResult:
         algorithm = _worker_algorithm(item.scenario)
     rng = client_rng(item.run_seed, item.version, item.client_id,
                      item.dispatch_index)
-    update = algorithm.run_client(item.client_id, item.version, rng,
-                                  broadcast=item.broadcast)
+    start = time.perf_counter()
+    with telemetry.span("client_step", client=int(item.client_id),
+                        version=int(item.version)):
+        update = algorithm.run_client(item.client_id, item.version, rng,
+                                      broadcast=item.broadcast)
+    execute_s = time.perf_counter() - start
     return ClientResult(client_id=int(item.client_id), update=update,
                         client_state=algorithm.pack_client_state(
-                            item.client_id))
+                            item.client_id),
+                        timing={"execute_s": execute_s})
+
+
+def _finalize_timing(result: ClientResult, total_s: float,
+                     retries: int) -> None:
+    """Complete a result's wall-clock record on the coordinator side:
+    total submit-to-result time, the queue-wait remainder (total minus
+    worker-measured execution — includes pool queueing and IPC), and how
+    many transparent retries the item survived."""
+    timing = result.timing if result.timing is not None else {}
+    execute_s = timing.get("execute_s", 0.0)
+    timing["total_s"] = total_s
+    timing["wait_s"] = max(total_s - execute_s, 0.0)
+    timing["retries"] = int(retries)
+    result.timing = timing
 
 
 def scenario_handle_for(algorithm) -> ScenarioHandle:
@@ -316,12 +346,19 @@ class InlineExecutor(Executor):
         super().__init__(workers=1)
         self.algorithm = algorithm
 
+    def _execute(self, item: ClientWorkItem) -> ClientResult:
+        telemetry.inc("executor.items", kind=self.kind)
+        result = execute_work_item(item, self.algorithm)
+        # Eager execution: no queue wait, no retries; total == execute.
+        _finalize_timing(result, result.timing["execute_s"], retries=0)
+        return result
+
     def submit(self, item: ClientWorkItem):
-        return _Immediate(execute_work_item(item, self.algorithm))
+        return _Immediate(self._execute(item))
 
     def stream(self, items):
         for item in items:
-            yield execute_work_item(item, self.algorithm)
+            yield self._execute(item)
 
 
 class _ResilientFuture:
@@ -336,7 +373,8 @@ class _ResilientFuture:
     propagate unchanged.
     """
 
-    __slots__ = ("_executor", "_item", "_future", "_generation", "_attempts")
+    __slots__ = ("_executor", "_item", "_future", "_generation", "_attempts",
+                 "_submitted")
 
     def __init__(self, executor: "_PoolExecutor", item: ClientWorkItem,
                  future, generation: int):
@@ -345,16 +383,29 @@ class _ResilientFuture:
         self._future = future
         self._generation = generation
         self._attempts = 0
+        self._submitted = time.perf_counter()
 
     def result(self) -> ClientResult:
         while True:
             try:
-                return self._future.result(timeout=self._executor.timeout_s)
+                result = self._future.result(timeout=self._executor.timeout_s)
+                _finalize_timing(result,
+                                 time.perf_counter() - self._submitted,
+                                 self._attempts)
+                return result
             except BaseException as error:  # noqa: BLE001 - classified below
+                if isinstance(error, (_FuturesTimeout, TimeoutError)):
+                    telemetry.inc("executor.timeouts",
+                                  kind=self._executor.kind)
                 if (self._attempts >= self._executor.retries
                         or not failure_is_transient(error)):
                     raise
                 self._attempts += 1
+                telemetry.inc("executor.retries", kind=self._executor.kind)
+                _log.warning(
+                    "retrying client %s (attempt %d/%d) after %s",
+                    self._item.client_id, self._attempts,
+                    self._executor.retries, type(error).__name__)
                 self._future.cancel()
                 self._future, self._generation = self._executor._recover(
                     self._item, self._generation, error)
@@ -387,6 +438,7 @@ class _PoolExecutor(Executor):
         raise NotImplementedError
 
     def submit(self, item: ClientWorkItem):
+        telemetry.inc("executor.items", kind=self.kind)
         with self._lock:
             return _ResilientFuture(self, item, self._submit_raw(item),
                                     self._generation)
@@ -405,6 +457,9 @@ class _PoolExecutor(Executor):
                     pass
                 self._pool = self._build_pool()
                 self._generation += 1
+                telemetry.inc("executor.pool_rebuilds", kind=self.kind)
+                _log.warning("rebuilt broken %s pool (generation %d)",
+                             self.kind, self._generation)
             return self._submit_raw(item), self._generation
 
     def close(self) -> None:

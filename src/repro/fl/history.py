@@ -67,14 +67,34 @@ class History:
 
     @property
     def total_sim_time_s(self) -> float:
-        return self.records[-1].sim_time_s if self.records else 0.0
+        """Simulated wall-clock at the end of the last recorded round.
+
+        Raises :class:`ValueError` on an empty history — an empty run has
+        no clock, and the historical ``0.0`` silently poisoned downstream
+        time metrics.  Note that for a *partial* history (a run still in
+        progress, or one truncated by early stopping) this is the clock up
+        to the last recorded round, not a full-run estimate; resumed
+        (checkpointed) runs re-load their pre-resume rounds, so their
+        total covers the whole run.
+        """
+        if not self.records:
+            raise ValueError("history has no rounds; total_sim_time_s is "
+                             "undefined on an empty run")
+        return self.records[-1].sim_time_s
 
     def time_to_accuracy(self, target: float) -> float | None:
         """Simulated seconds until global accuracy first reaches ``target``.
 
         Returns ``None`` when the run never reaches the target (the paper's
-        time-to-accuracy metric, measured on the simulated clock).
+        time-to-accuracy metric, measured on the simulated clock) and
+        raises :class:`ValueError` on an empty history, where "never
+        reached" would be vacuous and misleading.  On a partial history
+        the answer is definitive when a crossing exists; a ``None`` only
+        means "not reached *yet*" if more rounds were still to come.
         """
+        if not self.records:
+            raise ValueError("history has no rounds; time_to_accuracy is "
+                             "undefined on an empty run")
         for record in self.records:
             if record.global_accuracy is not None \
                     and record.global_accuracy >= target:

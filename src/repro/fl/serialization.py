@@ -29,6 +29,21 @@ __all__ = ["history_to_dict", "history_from_dict", "save_history",
            "client_update_to_dict", "client_update_from_dict"]
 
 
+#: extras keys that carry measured wall-clock (nondeterministic) values —
+#: ``client_timings`` comes from :mod:`repro.fl.executor` timing — and are
+#: therefore stripped at serialisation time.  Keeping them out of the JSON
+#: form is what makes ``History.to_json()`` byte-identical across executors,
+#: worker counts and telemetry on/off (the determinism contract pinned by
+#: ``tests/test_parallel_exec.py`` and ``tests/test_telemetry.py``).
+VOLATILE_EXTRA_KEYS = frozenset({"client_timings"})
+
+
+def _serialisable_extras(extras: dict) -> dict:
+    if VOLATILE_EXTRA_KEYS.isdisjoint(extras):
+        return extras
+    return {k: v for k, v in extras.items() if k not in VOLATILE_EXTRA_KEYS}
+
+
 def history_to_dict(history: History) -> dict:
     return {
         "algorithm": history.algorithm,
@@ -37,7 +52,8 @@ def history_to_dict(history: History) -> dict:
         "records": [
             {"round_index": r.round_index, "sim_time_s": r.sim_time_s,
              "round_time_s": r.round_time_s, "train_loss": r.train_loss,
-             "global_accuracy": r.global_accuracy, "extras": r.extras,
+             "global_accuracy": r.global_accuracy,
+             "extras": _serialisable_extras(r.extras),
              "events": r.events}
             for r in history.records
         ],

@@ -24,10 +24,12 @@ the legacy loop has no notion of); the equivalence is pinned by
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import runtime as telemetry
 from .aggregation import ExecutionConfig, make_policy, sample_count
 from .checkpoint import CheckpointConfig, make_checkpointer
 from .executor import Executor, make_executor, make_work_item
@@ -129,6 +131,7 @@ def _run_sync_loop(algorithm, config: SimulationConfig,
                    executor: Executor) -> History:
     """The synchronous reference loop: every sampled client is always
     online and always finishes; the round waits for the straggler."""
+    wall_start = time.perf_counter()
     rng = np.random.default_rng(config.seed)
     history = History(algorithm=algorithm.name, dataset=algorithm.dataset_name)
     sim_time = 0.0
@@ -149,26 +152,44 @@ def _run_sync_loop(algorithm, config: SimulationConfig,
                                 shared_broadcast=shared)
                  for cid in sampled)
 
+        wall_timings: dict[int, dict] = {}
+
         def updates():
             # Stream results in dispatch order; with the inline executor
             # only one client's update is alive at a time (the legacy
             # memory profile), while pools drain as work completes.
             for result in executor.stream(items):
+                if result.timing is not None:
+                    wall_timings[result.client_id] = result.timing
                 algorithm.apply_client_state(result.client_id,
                                              result.client_state)
                 yield result.update
 
-        outcome = algorithm.ingest(updates(), round_index, rng)
+        # ``ingest`` drains the executor stream, so this span covers the
+        # round's client work plus aggregation (the legacy loop has no
+        # separate dispatch phase to trace).
+        with telemetry.span("round", round=round_index):
+            outcome = algorithm.ingest(updates(), round_index, rng)
         round_time = outcome.slowest_client_s + config.server_overhead_s
         sim_time += round_time
 
         is_eval_round = (round_index % config.eval_every == 0
                          or round_index == config.num_rounds - 1)
-        acc = algorithm.evaluate_global() if is_eval_round else None
-        history.append(RoundRecord(
+        if is_eval_round:
+            with telemetry.span("evaluate", round=round_index):
+                acc = algorithm.evaluate_global()
+        else:
+            acc = None
+        extras = dict(outcome.extras)
+        if wall_timings:
+            extras["client_timings"] = wall_timings
+        record = RoundRecord(
             round_index=round_index, sim_time_s=sim_time,
             round_time_s=round_time, train_loss=outcome.mean_train_loss,
-            global_accuracy=acc, extras=dict(outcome.extras)))
+            global_accuracy=acc, extras=extras)
+        history.append(record)
+        telemetry.record_round(record)
+        telemetry.inc("aggregation.rounds", policy="legacy")
         if checkpointer is not None and checkpointer.due(round_index):
             checkpointer.save(algorithm, rng, history,
                               next_round=round_index + 1,
@@ -180,6 +201,14 @@ def _run_sync_loop(algorithm, config: SimulationConfig,
     history.final_device_accuracies = algorithm.per_device_accuracies()
     if checkpointer is not None:
         checkpointer.clear()
+    if telemetry.enabled() and history.records:
+        wall_s = time.perf_counter() - wall_start
+        sim_s = history.records[-1].sim_time_s
+        telemetry.set_gauge("simulation.wall_s", wall_s, policy="legacy")
+        telemetry.set_gauge("simulation.sim_s", sim_s, policy="legacy")
+        if wall_s > 0:
+            telemetry.set_gauge("simulation.sim_speedup", sim_s / wall_s,
+                                policy="legacy")
     return history
 
 

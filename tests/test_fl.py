@@ -197,7 +197,15 @@ class TestHistory:
 
     def test_total_sim_time(self):
         assert self._history().total_sim_time_s == 50.0
-        assert History(algorithm="a", dataset="d").total_sim_time_s == 0.0
+
+    def test_empty_history_time_metrics_raise(self):
+        """An empty run has no clock: the old silent 0.0 / None answers
+        poisoned downstream time metrics, so both now raise."""
+        h = History(algorithm="a", dataset="d")
+        with pytest.raises(ValueError, match="no rounds"):
+            _ = h.total_sim_time_s
+        with pytest.raises(ValueError, match="no rounds"):
+            h.time_to_accuracy(0.5)
 
 
 class TestClientUpdateRoundTrips:

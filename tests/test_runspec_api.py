@@ -305,7 +305,7 @@ class TestNumClassesPlumbing:
 class TestRegistry:
     EXPECTED = {"table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
                 "fig6", "fig7", "fig8", "fig9", "ablations", "async_compare",
-                "fault_compare"}
+                "fault_compare", "telemetry_report"}
 
     def test_registry_complete_and_sorted(self):
         names = artifact_names()

@@ -1,0 +1,435 @@
+"""Runtime telemetry: metrics math, tracing, logging, and the
+observation-only contract.
+
+The load-bearing test here is byte-identity: ``History.to_json()`` must be
+the same bytes with telemetry on or off, across executors and worker
+counts — telemetry observes runs, it never participates in them.  The
+rest pins the primitives (nearest-rank percentiles, registry merge,
+Chrome-trace structure, the JSON log format) and the plumbing
+(session/run-scope merge, per-client wall timings, the telemetry sidecar
+next to cache entries).
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.constraints import ConstraintSpec
+from repro.experiments import RunSpec, execute_spec
+from repro.experiments.cache import RunCache
+from repro.experiments.registry import get_artifact
+from repro.fl import history_to_dict
+from repro.fl.history import History, RoundRecord
+from repro.telemetry import (Histogram, JsonLogFormatter, MetricsRegistry,
+                             RunTelemetry, Span, Tracer, configure_logging,
+                             get_logger, percentile, report_rows,
+                             reset_logging, run_scope, telemetry_session,
+                             validate_chrome_trace)
+from repro.telemetry import runtime as telemetry_runtime
+
+SMOKE = ConstraintSpec(constraints=("computation",))
+
+
+def smoke_spec(algorithm="sheterofl", seed=0, workers=None, executor=None):
+    return RunSpec(algorithm=algorithm, dataset="harbox", constraints=SMOKE,
+                   scale="smoke", seed=seed, workers=workers,
+                   executor=executor)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    yield
+    reset_logging()
+
+
+class TestPercentiles:
+    def test_nearest_rank_returns_observations(self):
+        values = [15.0, 20.0, 35.0, 40.0, 50.0]
+        assert percentile(values, 0) == 15.0
+        assert percentile(values, 30) == 20.0
+        assert percentile(values, 40) == 20.0
+        assert percentile(values, 50) == 35.0
+        assert percentile(values, 100) == 50.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 1) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], -1)
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == 50.0
+        assert s["p90"] == 90.0
+        assert s["p99"] == 99.0
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0, "sum": 0.0}
+
+
+class TestMetricsRegistry:
+    def test_labeled_series_are_distinct(self):
+        r = MetricsRegistry()
+        r.inc("drops", 2, reason="deadline")
+        r.inc("drops", 1, reason="crash")
+        r.inc("drops", 3, reason="deadline")
+        assert r.counter_value("drops", reason="deadline") == 5
+        assert r.counter_value("drops", reason="crash") == 1
+        assert r.counter_total("drops") == 6
+
+    def test_gauges(self):
+        r = MetricsRegistry()
+        r.set_gauge("depth", 3)
+        r.set_gauge("depth", 2)
+        assert r.gauge_value("depth") == 2
+        r.max_gauge("peak", 3)
+        r.max_gauge("peak", 1)
+        assert r.gauge_value("peak") == 3
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        a.set_gauge("g", 5)
+        b.set_gauge("g", 3)
+        a.observe("h", 1.0)
+        b.observe("h", 9.0)
+        a.merge(b)
+        assert a.counter_value("n") == 3
+        assert a.gauge_value("g") == 5          # gauges keep the max
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").max == 9.0
+
+    def test_to_from_dict_round_trip(self):
+        r = MetricsRegistry()
+        r.inc("items", 4, kind="process")
+        r.set_gauge("speedup", 12.5, policy="sync")
+        r.observe("latency", 0.25)
+        r.observe("latency", 0.75)
+        back = MetricsRegistry.from_dict(r.to_dict())
+        assert back.to_dict() == r.to_dict()
+        assert back.counter_value("items", kind="process") == 4
+        assert back.histogram("latency").values == [0.25, 0.75]
+
+
+class TestTracer:
+    def test_span_nesting_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer", round=0):
+            with tracer.span("inner", client=3):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].duration_s >= by_name["inner"].duration_s
+        assert by_name["inner"].labels == {"client": 3}
+
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("work", round=1):
+            pass
+        back = Tracer.from_dict(tracer.to_dict())
+        assert [s.to_dict() for s in back.spans] \
+            == [s.to_dict() for s in tracer.spans]
+
+    def test_absorb_shares_epoch(self):
+        parent = Tracer()
+        child = Tracer(epoch=parent.epoch)
+        with child.span("child_work"):
+            pass
+        parent.absorb(child)
+        assert [s.name for s in parent.spans] == ["child_work"]
+        assert parent.spans[0].start_s >= 0
+
+    def test_chrome_events_structure(self):
+        tracer = Tracer()
+        with tracer.span("step", client=1):
+            pass
+        (event,) = tracer.chrome_events(pid=1)
+        assert event["ph"] == "X" and event["pid"] == 1
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["args"] == {"client": 1}
+
+
+class TestChromeTraceValidation:
+    def _trace(self, **overrides):
+        event = dict({"name": "s", "ph": "X", "pid": 1, "tid": 0,
+                      "ts": 1.0, "dur": 2.0}, **overrides)
+        return {"traceEvents": [event]}
+
+    def test_valid(self):
+        assert validate_chrome_trace(self._trace()) == 1
+
+    def test_metadata_events_skip_ts(self):
+        trace = {"traceEvents": [{"name": "process_name", "ph": "M",
+                                  "pid": 1, "tid": 0, "args": {"name": "x"}}]}
+        assert validate_chrome_trace(trace) == 1
+
+    def test_rejects_bad_payloads(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(self._trace(ph="Z"))
+        with pytest.raises(ValueError, match="invalid ts"):
+            validate_chrome_trace(self._trace(ts=-1.0))
+        with pytest.raises(ValueError, match="invalid dur"):
+            validate_chrome_trace(self._trace(dur=None))
+        with pytest.raises(ValueError, match="lacks a name"):
+            validate_chrome_trace(self._trace(name=""))
+
+    def test_session_trace_round_trips_through_json(self):
+        with telemetry_session(meta={"artifact": "test"}) as session:
+            with telemetry_runtime.span("alpha", round=0):
+                pass
+            record = RoundRecord(round_index=0, sim_time_s=10.0,
+                                 round_time_s=8.0, train_loss=1.0,
+                                 extras={"dispatched": 3},
+                                 events=[{"t": 1.0, "type": "upload_start",
+                                          "client": 2}])
+            telemetry_runtime.record_round(record)
+        trace = json.loads(json.dumps(session.chrome_trace()))
+        count = validate_chrome_trace(trace)
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "alpha" in names and "round 0" in names \
+            and "upload_start" in names
+        assert count == len(trace["traceEvents"])
+        assert trace["otherData"]["meta"] == {"artifact": "test"}
+
+
+class TestJsonLogging:
+    def test_json_lines(self, capsys):
+        configure_logging(level="debug", json_format=True)
+        get_logger("test").info("round %d done", 3, extra={"round": 3})
+        line = capsys.readouterr().err.strip()
+        payload = json.loads(line)
+        assert payload["message"] == "round 3 done"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test"
+        assert payload["round"] == 3
+        assert isinstance(payload["ts"], float)
+
+    def test_plain_lines_are_bare_messages(self, capsys):
+        configure_logging()
+        get_logger("test").info("hits=4 misses=0")
+        assert capsys.readouterr().err == "hits=4 misses=0\n"
+
+    def test_level_filtering(self, capsys):
+        configure_logging(level="warning")
+        get_logger("test").info("invisible")
+        get_logger("test").warning("visible")
+        err = capsys.readouterr().err
+        assert "invisible" not in err and "visible" in err
+
+    def test_exception_serialised(self):
+        formatter = JsonLogFormatter()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            record = logging.LogRecord("repro.test", logging.ERROR, "", 0,
+                                       "failed", (), __import__("sys")
+                                       .exc_info())
+        payload = json.loads(formatter.format(record))
+        assert "RuntimeError: boom" in payload["exception"]
+
+    def test_reconfigure_is_idempotent(self):
+        configure_logging()
+        configure_logging(json_format=True)
+        logger = get_logger()
+        managed = [h for h in logger.handlers
+                   if getattr(h, "_repro_managed", False)]
+        assert len(managed) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="verbose")
+
+
+class TestRuntimeScopes:
+    def test_helpers_noop_when_disabled(self):
+        assert telemetry_runtime.current() is None
+        telemetry_runtime.inc("x")
+        telemetry_runtime.observe("y", 1.0)
+        telemetry_runtime.set_gauge("z", 2.0)
+        with telemetry_runtime.span("quiet"):
+            pass
+        assert telemetry_runtime.current() is None
+
+    def test_session_collects(self):
+        with telemetry_session() as session:
+            assert telemetry_runtime.enabled()
+            telemetry_runtime.inc("n", 2)
+            with telemetry_runtime.span("s"):
+                pass
+        assert not telemetry_runtime.enabled()
+        assert session.metrics.counter_value("n") == 2
+        assert [s.name for s in session.tracer.spans] == ["s"]
+
+    def test_run_scope_merges_into_session(self):
+        with telemetry_session(meta={"artifact": "a"}) as session:
+            with run_scope(spec="abc123") as child:
+                telemetry_runtime.inc("n")
+                with telemetry_runtime.span("inner"):
+                    pass
+            assert child.meta == {"artifact": "a", "spec": "abc123"}
+            assert telemetry_runtime.current() is session
+        assert session.metrics.counter_value("n") == 1
+        assert [s.name for s in session.tracer.spans] == ["inner"]
+
+    def test_run_scope_without_session_yields_none(self):
+        with run_scope(spec="abc") as child:
+            assert child is None
+
+    def test_telemetry_round_trip(self):
+        with telemetry_session(meta={"k": "v"}) as session:
+            telemetry_runtime.inc("c", 3, kind="x")
+            telemetry_runtime.observe("h", 1.5)
+            with telemetry_runtime.span("s"):
+                pass
+        back = RunTelemetry.from_dict(
+            json.loads(json.dumps(session.to_dict())))
+        assert back.to_dict() == session.to_dict()
+
+    def test_version_gate(self):
+        with pytest.raises(ValueError, match="telemetry version"):
+            RunTelemetry.from_dict({"telemetry_version": 99})
+
+
+class TestObservationOnly:
+    """Telemetry must never change what a run computes."""
+
+    def _history_json(self, workers=None, executor=None, telemetry=False):
+        spec = smoke_spec(workers=workers, executor=executor)
+        if not telemetry:
+            return execute_spec(spec, cache=None).history.to_json()
+        with telemetry_session(meta={"test": "byte-identity"}):
+            return execute_spec(spec, cache=None).history.to_json()
+
+    def test_histories_byte_identical_with_telemetry(self):
+        reference = self._history_json()
+        assert self._history_json(telemetry=True) == reference
+        assert self._history_json(workers=2, executor="thread",
+                                  telemetry=True) == reference
+        assert self._history_json(workers=2, executor="process",
+                                  telemetry=True) == reference
+
+    def test_content_hash_unchanged_by_session(self):
+        spec = smoke_spec()
+        reference = spec.content_hash()
+        with telemetry_session():
+            assert smoke_spec().content_hash() == reference
+
+    def test_session_observed_the_run(self):
+        with telemetry_session() as session:
+            execute_spec(smoke_spec(), cache=None)
+        assert session.metrics.counter_total("aggregation.rounds") > 0
+        assert session.metrics.counter_total("executor.items") > 0
+        names = {s.name for s in session.tracer.spans}
+        assert {"execute_spec", "run_simulation", "round"} <= names
+        assert session.sim_rounds, "round timeline not recorded"
+        assert session.sim_rounds[0]["wall"]["clients"] > 0
+        rows = report_rows(session)
+        sections = {row["section"] for row in rows}
+        assert {"cache", "counter", "span", "round"} <= sections
+
+
+class TestClientTimings:
+    def test_in_memory_but_never_serialised(self):
+        result = execute_spec(smoke_spec(), cache=None)
+        record = result.history.records[0]
+        timings = record.extras["client_timings"]
+        assert timings, "executor should report per-client wall timings"
+        for timing in timings.values():
+            assert timing["execute_s"] >= 0
+            assert timing["total_s"] >= timing["execute_s"] >= 0
+            assert timing["wait_s"] >= 0
+            assert timing["retries"] == 0
+        payload = history_to_dict(result.history)
+        for serialised in payload["records"]:
+            assert "client_timings" not in serialised["extras"]
+        restored = History.from_json(result.history.to_json())
+        assert all("client_timings" not in r.extras
+                   for r in restored.records)
+
+    def test_strip_leaves_clean_extras_untouched(self):
+        h = History(algorithm="a", dataset="d")
+        extras = {"dispatched": 3}
+        h.append(RoundRecord(round_index=0, sim_time_s=1.0, round_time_s=1.0,
+                             train_loss=0.5, extras=extras))
+        payload = history_to_dict(h)
+        # No volatile keys -> the same dict object, not a copy.
+        assert payload["records"][0]["extras"] is extras
+
+
+class TestTelemetrySidecar:
+    def test_written_next_to_cache_entry(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = smoke_spec()
+        with telemetry_session():
+            execute_spec(spec, cache=cache)
+        sidecar = cache.telemetry_path_for(spec)
+        assert sidecar.name == f"{spec.content_hash()}.telemetry.json"
+        payload = json.loads(sidecar.read_text())
+        assert payload["spec"] == spec.to_dict()
+        restored = RunTelemetry.from_dict(payload["telemetry"])
+        assert restored.metrics.counter_total("aggregation.rounds") > 0
+
+    def test_not_written_without_session(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = smoke_spec()
+        execute_spec(spec, cache=cache)
+        assert cache.path_for(spec).exists()
+        assert not cache.telemetry_path_for(spec).exists()
+
+    def test_cache_hit_leaves_sidecar_alone(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = smoke_spec()
+        execute_spec(spec, cache=cache)
+        with telemetry_session() as session:
+            result = execute_spec(spec, cache=cache)
+        assert result.from_cache
+        assert not cache.telemetry_path_for(spec).exists()
+        assert session.metrics.counter_total("cache.hits") == 1
+
+
+class TestTelemetryReportArtifact:
+    def test_registered_with_expected_params(self):
+        artifact = get_artifact("telemetry_report")
+        assert artifact.module == "repro.experiments.telemetry_report"
+        assert {"scale", "dataset", "algorithm"} <= set(artifact.params)
+
+    def test_produces_sectioned_rows(self, tmp_path, monkeypatch):
+        from repro.experiments.cache import set_default_cache
+        previous = set_default_cache(RunCache(tmp_path))
+        try:
+            rows = get_artifact("telemetry_report").run(
+                scale="smoke", dataset="harbox", algorithm="sheterofl")
+        finally:
+            set_default_cache(previous)
+        sections = {row["section"] for row in rows}
+        assert {"cache", "counter", "span", "round"} <= sections
+        cache_stats = {row["name"]: row["value"] for row in rows
+                       if row["section"] == "cache"}
+        assert cache_stats["lookups"] == cache_stats["hits"] \
+            + cache_stats["misses"]
