@@ -8,8 +8,10 @@ Usage::
     python -m repro run fig6 --datasets cifar100 --algorithms sheterofl,fjord
     python -m repro run fig4 --rounds 10 --availability markov
     python -m repro run fig4 --workers 4           # same bytes, more cores
+    python -m repro run fig4 --strict              # + runtime sanitizers
     python -m repro run fig4 --log-json --log-level debug
     python -m repro profile fig4 smoke             # trace + telemetry report
+    python -m repro lint                           # determinism contracts
 
 Artifacts come from the registry (:mod:`repro.experiments.registry`) —
 every ``@register_artifact`` module is auto-discovered.  Runs are cached
@@ -43,12 +45,13 @@ from .experiments.reporting import write_rows
 from .experiments.runner import (DEFAULT_CHECKPOINT_DIR, Checkpointing,
                                  set_default_checkpointing,
                                  set_default_parallelism)
+from .fl.sanitizers import set_strict_mode
 from .telemetry.logs import LOG_LEVELS, configure_logging, get_logger
 from .telemetry.report import report_rows
 from .telemetry.runtime import telemetry_session
 from .telemetry.tracing import validate_chrome_trace
 
-_SUBCOMMANDS = ("list", "describe", "run", "profile")
+_SUBCOMMANDS = ("list", "describe", "run", "profile", "lint")
 
 #: where ``repro profile`` drops traces unless ``--trace-out`` overrides it.
 DEFAULT_PROFILE_DIR = Path("results") / "profile"
@@ -142,6 +145,11 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="resume each cell from its snapshot when one "
                              "exists (implies --checkpoint-every 1 unless "
                              "given)")
+    parser.add_argument("--strict", action="store_true",
+                        help="enable the strict-mode runtime sanitizers: "
+                             "broadcast arrays are frozen during dispatch "
+                             "and the legacy global RNGs are tripwired; "
+                             "results are byte-identical either way")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -186,6 +194,19 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--memory", action="store_true",
                          help="trace peak memory per top-level span "
                               "(tracemalloc; slows the run)")
+
+    lint = sub.add_parser(
+        "lint", parents=[logging_options],
+        help="statically check the determinism contracts",
+        description="Run the AST rule catalog (repro.analysis.rules) over "
+                    "the repro package: no global RNG, no wall clock in "
+                    "serialised state, hash-covered spec fields, lossless "
+                    "payload round-trips, ordered client iteration, pure "
+                    "work items, repro.* logger naming, no swallowed "
+                    "exceptions on executor paths.  Exits non-zero on any "
+                    "unsuppressed finding or stale allow comment.")
+    from .analysis.cli import add_lint_options
+    add_lint_options(lint)
     return parser
 
 
@@ -299,6 +320,7 @@ def _run_defaults(args):
         workers=args.workers if args.workers is not None else 1,
         executor=args.executor or "auto")
     previous_checkpointing = set_default_checkpointing(checkpointing)
+    previous_strict = set_strict_mode(getattr(args, "strict", False))
     try:
         yield cache
     finally:
@@ -306,6 +328,7 @@ def _run_defaults(args):
         set_default_parallelism(previous_parallelism.workers,
                                 previous_parallelism.executor)
         set_default_checkpointing(previous_checkpointing)
+        set_strict_mode(previous_strict)
 
 
 def _report_cache(cache: RunCache | None) -> None:
@@ -412,6 +435,9 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "lint":
+        from .analysis.cli import lint_command
+        return lint_command(args)
     parser.print_help()
     return 0
 

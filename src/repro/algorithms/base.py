@@ -277,8 +277,8 @@ class MHFLAlgorithm:
         :meth:`repro.hw.CostModel.fleet_round_time_quantile` for the
         algorithm-free fleet-planning variant.
         """
-        times = [self.client_round_time_s(ctx)
-                 for ctx in self.clients.values()]
+        times = [self.client_round_time_s(self.clients[cid])
+                 for cid in sorted(self.clients)]
         return float(np.quantile(times, quantile))
 
     # ------------------------------------------------------------------

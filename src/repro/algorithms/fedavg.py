@@ -28,7 +28,8 @@ class FedAvgSmallest(MHFLAlgorithm):
     # client the *minimum* feasible entry (see constraints.assignment).
 
     def _common_entry(self):
-        entries = {ctx.entry.key: ctx.entry for ctx in self.clients.values()}
+        entries = {self.clients[cid].entry.key: self.clients[cid].entry
+                   for cid in sorted(self.clients)}
         if len(entries) != 1:
             raise ValueError(
                 "FedAvgSmallest expects a homogeneous assignment; got levels "

@@ -1,0 +1,23 @@
+"""Static analysis for the determinism contracts (``repro lint``).
+
+The reproducibility guarantees — content-addressed caching, byte-identical
+parallel execution, crash-safe resume — rest on source-level invariants.
+Golden tests check them after the fact on exercised paths; this package
+proves them on every line:
+
+* :mod:`repro.analysis.engine` — the AST rule engine;
+* :mod:`repro.analysis.rules` — the contract catalog (~8 rules);
+* :mod:`repro.analysis.findings` — findings + ``# repro: allow[rule-id]``
+  suppression comments;
+* :mod:`repro.analysis.cli` — the ``repro lint [--json]`` verb.
+
+The dynamic complement (strict-mode sanitizers trapping what static
+analysis cannot see) lives in :mod:`repro.fl.sanitizers`.
+"""
+
+from .engine import LintReport, PACKAGE_ROOT, run_lint
+from .findings import Finding
+from .rules import all_rules, rule_catalog
+
+__all__ = ["run_lint", "all_rules", "rule_catalog", "Finding",
+           "LintReport", "PACKAGE_ROOT"]

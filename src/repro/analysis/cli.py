@@ -1,0 +1,54 @@
+"""The ``repro lint`` verb: run the contract rules, report, exit."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import PACKAGE_ROOT, run_lint
+from .rules import all_rules, rule_catalog
+
+__all__ = ["add_lint_options", "lint_command"]
+
+
+def add_lint_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable report (schema "
+                             "version 1) instead of text")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package root paths are reported relative to "
+                             "(default: the repro package directory)")
+
+
+def lint_command(args: argparse.Namespace,
+                 stream=None) -> int:
+    """Run the full catalog; exit 0 only when the tree is clean.
+
+    Stale ``allow`` comments fail the gate too: an allowance that no
+    longer suppresses anything is a standing invitation for the next
+    regression on that line to pass silently.
+    """
+    stream = stream or sys.stdout
+    targets = list(args.paths) or None
+    report = run_lint(all_rules(), targets=targets,
+                      root=args.root or PACKAGE_ROOT)
+    if args.as_json:
+        payload = report.to_dict()
+        payload["catalog"] = rule_catalog()
+        stream.write(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return 0 if report.ok else 1
+    for finding in report.findings:
+        stream.write(finding.render() + "\n")
+    for finding in report.stale_suppressions:
+        stream.write(finding.render() + "\n")
+    summary = (f"{len(report.findings)} finding(s), "
+               f"{len(report.suppressed)} suppressed, "
+               f"{len(report.stale_suppressions)} stale suppression(s) "
+               f"across {report.files_scanned} file(s)")
+    stream.write(("OK: " if report.ok else "FAIL: ") + summary + "\n")
+    return 0 if report.ok else 1

@@ -1,0 +1,240 @@
+"""AST rule engine behind ``repro lint``.
+
+The platform's reproducibility guarantees — content-addressed caching,
+byte-identical parallel execution, crash-safe resume — rest on source-level
+invariants (no global RNG, no wall clock in serialised state, hash-covered
+spec fields, ordered iteration over client ids, pure work items).  Golden
+tests catch violations after the fact and only on exercised paths; this
+engine proves the invariants hold on every line, before anything runs.
+
+Design:
+
+* a :class:`ModuleSource` per file — source text, parsed AST, suppression
+  index and the module's import bindings (so rules can tell ``np.random``
+  from somebody's local ``random`` variable);
+* two rule shapes — :class:`Rule` (per-file, sees one module at a time)
+  and :class:`ProjectRule` (cross-file, sees the whole parse set at once;
+  the coverage rules compare dataclass definitions in one module against
+  codec functions in another);
+* suppressions are ``# repro: allow[rule-id]`` comments
+  (:mod:`repro.analysis.findings`); the engine filters suppressed findings
+  out of the failing set but keeps them in the report, and flags stale
+  allow comments that no longer silence anything.
+
+The rule catalog lives in :mod:`repro.analysis.rules`; the CLI verb in
+:mod:`repro.analysis.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, SuppressionIndex, parse_suppressions
+
+__all__ = ["ModuleSource", "Rule", "ProjectRule", "LintReport", "run_lint",
+           "load_module", "collect_modules", "PACKAGE_ROOT"]
+
+#: the installed ``repro`` package directory — the default lint target.
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file plus everything rules need to judge it."""
+
+    path: Path
+    #: package-relative posix path (e.g. ``fl/executor.py``) — the stable
+    #: form rules use for path scoping and reports use for display.
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+    #: local name -> dotted module for ``import x.y as z`` bindings.
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> (dotted module, original name) for ``from m import n``.
+    imported_names: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Dotted package the module lives in, relative to the root."""
+        parts = Path(self.rel).parent.parts
+        return ".".join(parts)
+
+    def resolve_relative(self, level: int, module: str | None) -> str:
+        """Resolve a relative import to a root-relative dotted module."""
+        parts = list(Path(self.rel).parent.parts)
+        ascend = level - 1
+        base = parts[:len(parts) - ascend] if ascend else parts
+        if module:
+            base = base + module.split(".")
+        return ".".join(base)
+
+
+def _index_imports(module: ModuleSource) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.module_aliases[alias.asname or
+                                      alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                source = module.resolve_relative(node.level, node.module)
+            else:
+                source = node.module or ""
+            for alias in node.names:
+                module.imported_names[alias.asname or alias.name] = \
+                    (source, alias.name)
+
+
+def load_module(path: Path, root: Path | None = None) -> ModuleSource:
+    """Parse one file into a :class:`ModuleSource` (raises on bad syntax —
+    unparseable source cannot be proven to hold any invariant)."""
+    root = root or PACKAGE_ROOT
+    source = path.read_text()
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.name
+    module = ModuleSource(path=path, rel=rel, source=source,
+                          tree=ast.parse(source, filename=str(path)),
+                          suppressions=parse_suppressions(source))
+    _index_imports(module)
+    return module
+
+
+def collect_modules(targets: Sequence[Path] | None = None,
+                    root: Path | None = None) -> list[ModuleSource]:
+    """Load every ``.py`` file under the targets (default: the package)."""
+    root = root or PACKAGE_ROOT
+    targets = list(targets) if targets else [root]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(p for p in target.rglob("*.py")
+                                if "__pycache__" not in p.parts))
+        else:
+            files.append(target)
+    return [load_module(path, root=root) for path in files]
+
+
+class Rule:
+    """Per-file rule: judge one module at a time."""
+
+    rule_id: str = "base"
+    #: one-line statement of the contract the rule protects.
+    protects: str = ""
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(path=module.rel, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule=self.rule_id, message=message)
+
+
+class ProjectRule(Rule):
+    """Cross-file rule: judge the whole parse set at once."""
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self,
+                      modules: dict[str, ModuleSource]) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    stale_suppressions: list[Finding]
+    files_scanned: int
+    rules_run: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_suppressions
+
+    def to_dict(self) -> dict:
+        """The ``repro lint --json`` payload schema (stable; version 1)."""
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_suppressions": [f.to_dict()
+                                   for f in self.stale_suppressions],
+        }
+
+
+def _stale_suppressions(modules: Sequence[ModuleSource],
+                        known_rules: set[str]) -> list[Finding]:
+    """Allow comments that silenced nothing this run.
+
+    A stale allowance is itself a finding: it documents a violation that no
+    longer exists (or misspells a rule id), and leaving it behind would
+    grant a silent pass to the next regression on that line.
+    """
+    stale = []
+    for module in modules:
+        used_rules_by_target: dict[int, set[str]] = {}
+        for line, rule in module.suppressions.used:
+            used_rules_by_target.setdefault(line, set()).add(rule)
+        for comment_line, rules in sorted(
+                module.suppressions.comment_lines.items()):
+            target = module.suppressions.comment_targets.get(comment_line)
+            for rule in sorted(rules):
+                if target is not None and \
+                        rule in used_rules_by_target.get(target, ()):
+                    continue
+                reason = ("unknown rule id" if rule not in known_rules
+                          else "suppresses nothing")
+                stale.append(Finding(
+                    path=module.rel, line=comment_line, col=1,
+                    rule="stale-suppression",
+                    message=f"allow[{rule}] {reason}; remove the comment"))
+    return stale
+
+
+def run_lint(rules: Sequence[Rule],
+             targets: Sequence[Path] | None = None,
+             root: Path | None = None,
+             modules: Sequence[ModuleSource] | None = None) -> LintReport:
+    """Run the rule set over the targets and split findings by suppression.
+
+    ``modules`` injects pre-parsed sources (tests use it for fixture
+    snippets); otherwise the targets are collected from disk.
+    """
+    if modules is None:
+        modules = collect_modules(targets, root=root)
+    by_rel = {m.rel: m for m in modules}
+    raw: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(by_rel))
+        else:
+            for module in modules:
+                raw.extend(rule.check_module(module))
+
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(raw):
+        module = by_rel.get(finding.path)
+        if module is not None and module.suppressions.allows(finding.line,
+                                                             finding.rule):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    stale = _stale_suppressions(modules, {rule.rule_id for rule in rules})
+    return LintReport(findings=active, suppressed=suppressed,
+                      stale_suppressions=stale, files_scanned=len(modules),
+                      rules_run=[rule.rule_id for rule in rules])

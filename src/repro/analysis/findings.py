@@ -1,0 +1,117 @@
+"""Findings and suppression comments for the determinism lint.
+
+A :class:`Finding` is one located violation of a determinism contract —
+rule id, file, line, column, message — produced by a rule in
+:mod:`repro.analysis.rules` and rendered by ``repro lint`` (text or
+``--json``).
+
+Suppressions are source comments of the form::
+
+    risky_call()  # repro: allow[rule-id] why this is intentional
+
+placed on the offending line, or on a line of their own immediately above
+it.  Several ids may share one comment (``allow[a, b]``).  A suppression
+silences exactly the named rule on exactly that line — there is no
+file-level or wildcard form, so every intentional violation stays visible
+and documented where it happens.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+
+__all__ = ["Finding", "SuppressionIndex", "parse_suppressions",
+           "ALLOW_PATTERN"]
+
+#: matches one allow comment; group 1 is the comma-separated id list.
+ALLOW_PATTERN = re.compile(r"#\s*repro:\s*allow\[([a-z0-9*,\s-]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One located violation of a determinism contract."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``repro lint --json`` finding schema)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of line -> rule ids an allow comment covers.
+
+    ``used`` records which (line, rule) pairs actually silenced a finding,
+    so the engine can report stale allow comments that no longer suppress
+    anything.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: line of the comment itself, for stale-suppression reporting.
+    comment_lines: dict[int, set[str]] = field(default_factory=dict)
+    #: comment line -> code line its allowance covers (absent when the
+    #: comment reaches no code line at all).
+    comment_targets: dict[int, int] = field(default_factory=dict)
+    used: set[tuple[int, str]] = field(default_factory=set)
+
+    def allows(self, line: int, rule: str) -> bool:
+        rules = self.by_line.get(line)
+        if rules is not None and rule in rules:
+            self.used.add((line, rule))
+            return True
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Index every ``# repro: allow[...]`` comment in ``source``.
+
+    A comment that shares a line with code covers that line; a comment on
+    a line of its own covers the next *code* line, reading through any
+    further standalone comment lines in between (so a multi-line
+    justification can carry its allowance at the top).  A blank line ends
+    the chain — the allowance must sit against the code it excuses.
+    Tokenising (rather than regexing raw lines) keeps allow markers
+    inside string literals inert.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    code_lines = {tok.start[0] for tok in tokens
+                  if tok.type not in (tokenize.COMMENT, tokenize.NL,
+                                      tokenize.NEWLINE, tokenize.INDENT,
+                                      tokenize.DEDENT, tokenize.ENDMARKER)}
+    comment_lines = {tok.start[0] for tok in tokens
+                     if tok.type == tokenize.COMMENT}
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = ALLOW_PATTERN.search(tok.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        line = tok.start[0]
+        target = line
+        while target not in code_lines and (target == line or
+                                            target in comment_lines):
+            target += 1
+        if target in code_lines:
+            index.by_line.setdefault(target, set()).update(rules)
+            index.comment_targets[line] = target
+        index.comment_lines.setdefault(line, set()).update(rules)
+    return index

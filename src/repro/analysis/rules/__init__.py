@@ -1,0 +1,42 @@
+"""The determinism-contract rule catalog for ``repro lint``.
+
+Each rule encodes one invariant the platform's reproducibility guarantees
+rest on.  :func:`all_rules` is the canonical registry — the CLI, CI gate
+and tests all run exactly this set, so adding a rule here is all it takes
+to enforce a new contract everywhere.
+"""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .coverage import HashFieldCoverage, SerializationCoverage
+from .determinism import NoGlobalRng, NoWallclockInState, SortedIteration
+from .hygiene import LoggerNaming, NoBareExcept, PureWorkItems
+
+__all__ = ["all_rules", "rule_catalog",
+           "NoGlobalRng", "NoWallclockInState", "SortedIteration",
+           "HashFieldCoverage", "SerializationCoverage",
+           "PureWorkItems", "LoggerNaming", "NoBareExcept"]
+
+#: registry order is report order for equal (file, line) ties.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    NoGlobalRng,
+    NoWallclockInState,
+    SortedIteration,
+    HashFieldCoverage,
+    SerializationCoverage,
+    PureWorkItems,
+    LoggerNaming,
+    NoBareExcept,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of the full catalog (rules hold no state, but a
+    fresh list keeps callers from aliasing each other's registries)."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_catalog() -> dict[str, str]:
+    """rule id -> one-line contract statement (docs and ``--json``)."""
+    return {cls.rule_id: cls.protects for cls in RULE_CLASSES}

@@ -1,0 +1,309 @@
+"""Cross-file coverage rules: hash fields and serialisation round-trips.
+
+Both rules compare a dataclass definition in one module against codec
+code in another, so they are :class:`~repro.analysis.engine.ProjectRule`\\ s:
+
+* **hash-field-coverage** — every field of the content-hashed spec
+  dataclasses (``RunSpec``, ``ConstraintSpec``, ``ExecutionConfig``)
+  appears as a key in its ``to_dict`` *or* in the class's explicit
+  ``HASH_EXCLUDED`` ClassVar.  Adding a field without deciding its hash
+  status is exactly how silent cache poisoning happens: the spec changes
+  behaviour but keeps its old content hash.
+* **serialization-coverage** — the payload dataclasses round-tripped by
+  :mod:`repro.fl.serialization` (``ClientUpdate``, ``RoundRecord``,
+  ``History``) have every field present in both the encoder and the
+  decoder, or declared volatile in ``VOLATILE_FIELDS`` (the per-field
+  sibling of ``VOLATILE_EXTRA_KEYS``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import ModuleSource, ProjectRule
+from ..findings import Finding
+
+__all__ = ["HashFieldCoverage", "SerializationCoverage"]
+
+#: (module rel path, class name) of every content-hashed spec dataclass.
+HASH_TARGETS = (
+    ("experiments/spec.py", "RunSpec"),
+    ("constraints/spec.py", "ConstraintSpec"),
+    ("fl/aggregation.py", "ExecutionConfig"),
+)
+
+#: the codec module and the payload dataclasses it round-trips:
+#: (defining module, class, encoder fn, decoder fn).
+CODEC_MODULE = "fl/serialization.py"
+SERIALIZATION_TARGETS = (
+    ("algorithms/base.py", "ClientUpdate",
+     "client_update_to_dict", "client_update_from_dict"),
+    ("fl/history.py", "RoundRecord", "history_to_dict", "history_from_dict"),
+    ("fl/history.py", "History", "history_to_dict", "history_from_dict"),
+)
+
+
+def find_class(module: ModuleSource, name: str) -> ast.ClassDef | None:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def find_function(tree: ast.AST, name: str) -> ast.FunctionDef | None:
+    for node in getattr(tree, "body", ()):
+        if isinstance(node, (ast.FunctionDef,
+                             ast.AsyncFunctionDef)) and node.name == name:
+            return node
+    return None
+
+
+def dataclass_fields(cls: ast.ClassDef) -> dict[str, ast.AnnAssign]:
+    """Field name -> annotation node, skipping ``ClassVar`` declarations."""
+    fields: dict[str, ast.AnnAssign] = {}
+    for stmt in cls.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and "ClassVar" not in ast.unparse(stmt.annotation)):
+            fields[stmt.target.id] = stmt
+    return fields
+
+
+def string_dict_keys(fn: ast.AST) -> set[str]:
+    """String keys the function serialises: dict-literal keys plus
+    ``payload["key"] = ...`` subscript stores."""
+    keys: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            keys.update(k.value for k in node.keys
+                        if isinstance(k, ast.Constant)
+                        and isinstance(k.value, str))
+        elif isinstance(node, (ast.Assign,)):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def string_constants(fn: ast.AST) -> set[str]:
+    """Every string literal in the function (decoder key extraction:
+    decoders read keys via ``payload["k"]`` and ``payload.get("k", ...)``,
+    both of which surface here)."""
+    return {node.value for node in ast.walk(fn)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str)}
+
+
+def declared_exclusions(cls: ast.ClassDef) -> tuple[set[str],
+                                                    ast.AnnAssign | None,
+                                                    bool]:
+    """(excluded names, the HASH_EXCLUDED node, is ClassVar-annotated)."""
+    for stmt in cls.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "HASH_EXCLUDED"):
+            names = ({node.value for node in ast.walk(stmt.value)
+                      if isinstance(node, ast.Constant)
+                      and isinstance(node.value, str)}
+                     if stmt.value is not None else set())
+            return names, stmt, "ClassVar" in ast.unparse(stmt.annotation)
+    return set(), None, True
+
+
+class HashFieldCoverage(ProjectRule):
+    """Every spec field is serialised or explicitly excluded from the hash.
+
+    ``to_dict`` is the content-hash input, so an unserialised field is a
+    behaviour knob the cache cannot see: two different runs would share a
+    hash.  Mechanical fields (parallelism, hardening) are *intentionally*
+    hash-invisible — but the intent must be stated in ``HASH_EXCLUDED`` so
+    the omission is a decision, not an accident.
+    """
+
+    rule_id = "hash-field-coverage"
+    protects = ("every RunSpec/ConstraintSpec/ExecutionConfig field is "
+                "either content-hashed via to_dict or explicitly declared "
+                "hash-excluded, so cache keys can never silently drift")
+
+    def check_project(self,
+                      modules: dict[str, ModuleSource]) -> Iterable[Finding]:
+        for rel, class_name in HASH_TARGETS:
+            module = modules.get(rel)
+            if module is None:
+                continue
+            cls = find_class(module, class_name)
+            if cls is None:
+                yield Finding(path=rel, line=1, col=1, rule=self.rule_id,
+                              message=f"expected class {class_name} is "
+                                      f"missing; update HASH_TARGETS in "
+                                      f"repro.analysis.rules.coverage if "
+                                      f"it moved")
+                continue
+            to_dict = find_function(cls, "to_dict")
+            if to_dict is None:
+                yield self._finding(module, cls,
+                                    f"{class_name} has no to_dict; content "
+                                    f"hashing requires a canonical "
+                                    f"serialised form")
+                continue
+            fields = dataclass_fields(cls)
+            serialised = string_dict_keys(to_dict)
+            excluded, excl_node, is_classvar = declared_exclusions(cls)
+            if excl_node is not None and not is_classvar:
+                yield self._finding(
+                    module, excl_node,
+                    f"{class_name}.HASH_EXCLUDED must be annotated "
+                    f"ClassVar[...]: as a plain annotation it becomes a "
+                    f"dataclass field and changes the hash itself")
+            for name, node in sorted(fields.items()):
+                if name not in serialised and name not in excluded:
+                    yield self._finding(
+                        module, node,
+                        f"field {class_name}.{name} is not serialised by "
+                        f"to_dict and not listed in HASH_EXCLUDED; decide "
+                        f"its hash status explicitly")
+            for name in sorted(excluded):
+                if name not in fields:
+                    yield self._finding(
+                        module, excl_node,
+                        f"HASH_EXCLUDED names {name!r} which is not a "
+                        f"field of {class_name}; remove the stale entry")
+                elif name in serialised:
+                    yield self._finding(
+                        module, excl_node,
+                        f"{class_name}.{name} is listed in HASH_EXCLUDED "
+                        f"but to_dict serialises it; the declaration lies")
+
+    def _finding(self, module: ModuleSource, node: ast.AST,
+                 message: str) -> Finding:
+        return self.finding(module, node, message)
+
+
+class SerializationCoverage(ProjectRule):
+    """Payload dataclasses round-trip every field (or declare it volatile).
+
+    A field missing from the encoder silently vanishes on save/load; one
+    missing from the decoder resurrects with its default.  Either way a
+    restored run is no longer the run that was saved.  Measured-time
+    fields that *should* be dropped go in ``VOLATILE_FIELDS``, next to
+    ``VOLATILE_EXTRA_KEYS``, so the drop is documented.
+    """
+
+    rule_id = "serialization-coverage"
+    protects = ("ClientUpdate/RoundRecord/History round-trip losslessly "
+                "through fl/serialization.py, or declare dropped fields "
+                "volatile")
+
+    def check_project(self,
+                      modules: dict[str, ModuleSource]) -> Iterable[Finding]:
+        codec = modules.get(CODEC_MODULE)
+        if codec is None:
+            return
+        volatile = self._volatile_fields(codec)
+        targets_by_class = {cls: (rel, to_fn, from_fn)
+                            for rel, cls, to_fn, from_fn
+                            in SERIALIZATION_TARGETS}
+        seen_fields: dict[str, set[str]] = {}
+        serialised_fields: dict[str, set[str]] = {}
+        for rel, class_name, to_name, from_name in SERIALIZATION_TARGETS:
+            module = modules.get(rel)
+            if module is None:
+                continue
+            cls = find_class(module, class_name)
+            if cls is None:
+                yield Finding(path=rel, line=1, col=1, rule=self.rule_id,
+                              message=f"expected payload class "
+                                      f"{class_name} is missing; update "
+                                      f"SERIALIZATION_TARGETS if it moved")
+                continue
+            encoder = find_function(codec.tree, to_name)
+            decoder = find_function(codec.tree, from_name)
+            for fn_name, fn in ((to_name, encoder), (from_name, decoder)):
+                if fn is None:
+                    yield Finding(path=CODEC_MODULE, line=1, col=1,
+                                  rule=self.rule_id,
+                                  message=f"codec function {fn_name} for "
+                                          f"{class_name} is missing")
+            if encoder is None or decoder is None:
+                continue
+            fields = dataclass_fields(cls)
+            seen_fields[class_name] = set(fields)
+            encoded = string_dict_keys(encoder)
+            decoded = string_constants(decoder)
+            serialised_fields[class_name] = encoded & decoded
+            declared = volatile.get(class_name, set())
+            for name, node in sorted(fields.items()):
+                if name in declared:
+                    continue
+                if name not in encoded:
+                    yield self.finding(
+                        module, node,
+                        f"{class_name}.{name} is not encoded by {to_name} "
+                        f"and not declared in VOLATILE_FIELDS; the field "
+                        f"would vanish on save")
+                elif name not in decoded:
+                    yield self.finding(
+                        module, node,
+                        f"{class_name}.{name} is encoded by {to_name} but "
+                        f"never read back by {from_name}; the round-trip "
+                        f"is lossy")
+        # stale volatile declarations
+        for class_name, names in sorted(volatile.items()):
+            if class_name not in targets_by_class:
+                yield Finding(path=CODEC_MODULE, line=self._volatile_line(
+                                  codec), col=1, rule=self.rule_id,
+                              message=f"VOLATILE_FIELDS names unknown "
+                                      f"payload class {class_name!r}")
+                continue
+            known = seen_fields.get(class_name)
+            if known is None:
+                continue
+            for name in sorted(names):
+                if name not in known:
+                    yield Finding(
+                        path=CODEC_MODULE, line=self._volatile_line(codec),
+                        col=1, rule=self.rule_id,
+                        message=f"VOLATILE_FIELDS declares "
+                                f"{class_name}.{name} which is not a "
+                                f"field; remove the stale entry")
+                elif name in serialised_fields.get(class_name, set()):
+                    yield Finding(
+                        path=CODEC_MODULE, line=self._volatile_line(codec),
+                        col=1, rule=self.rule_id,
+                        message=f"{class_name}.{name} is declared volatile "
+                                f"but the codec round-trips it anyway")
+
+    def _volatile_node(self, codec: ModuleSource) -> ast.AST | None:
+        for stmt in codec.tree.body:
+            target = None
+            if isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            if isinstance(target, ast.Name) and \
+                    target.id == "VOLATILE_FIELDS":
+                return stmt
+        return None
+
+    def _volatile_line(self, codec: ModuleSource) -> int:
+        node = self._volatile_node(codec)
+        return node.lineno if node is not None else 1
+
+    def _volatile_fields(self, codec: ModuleSource) -> dict[str, set[str]]:
+        """Parse ``VOLATILE_FIELDS = {"Class": frozenset({"field"})}``."""
+        node = self._volatile_node(codec)
+        if node is None or getattr(node, "value", None) is None:
+            return {}
+        value = node.value
+        result: dict[str, set[str]] = {}
+        if isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant) and isinstance(key.value,
+                                                                str):
+                    result[key.value] = {
+                        n.value for n in ast.walk(val)
+                        if isinstance(n, ast.Constant)
+                        and isinstance(n.value, str)}
+        return result

@@ -1,0 +1,241 @@
+"""Rules guarding run-to-run determinism: RNG, wall clock, iteration order.
+
+These encode the contracts :mod:`repro.fl.seeding` and the executor layer
+rely on: every random draw comes from a derived, explicitly-seeded
+generator; nothing serialisable reads the wall clock; and iteration over
+client-id containers that feeds aggregation or event scheduling is
+explicitly ordered (floating-point accumulation order is part of the
+result, so "deterministic on this interpreter" is not enough — the order
+must be *stated*).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import ModuleSource, Rule
+from ..findings import Finding
+
+__all__ = ["NoGlobalRng", "NoWallclockInState", "SortedIteration"]
+
+#: legacy module-level numpy RNG functions (np.random.* that draw from or
+#: mutate the hidden global RandomState).  ``default_rng``/``Generator``/
+#: ``SeedSequence``/``PCG64`` etc. are deliberately absent: explicit
+#: generator objects are the sanctioned API.
+NUMPY_GLOBAL_FNS = frozenset({
+    "seed", "get_state", "set_state", "rand", "randn", "randint",
+    "random_integers", "random_sample", "random", "ranf", "sample", "bytes",
+    "choice", "shuffle", "permutation", "beta", "binomial", "chisquare",
+    "dirichlet", "exponential", "f", "gamma", "geometric", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto", "poisson",
+    "power", "rayleigh", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_normal", "standard_t", "triangular",
+    "uniform", "vonmises", "wald", "weibull", "zipf",
+})
+
+#: stdlib ``random`` module-level functions (the hidden global Random()).
+#: ``random.Random``/``random.SystemRandom`` construction is allowed — an
+#: owned instance is explicit state, not the shared global stream.
+STDLIB_RANDOM_FNS = frozenset({
+    "seed", "random", "uniform", "randint", "randrange", "choice",
+    "choices", "shuffle", "sample", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "paretovariate", "triangular", "vonmisesvariate", "weibullvariate",
+    "getrandbits", "randbytes", "setstate", "getstate",
+})
+
+#: wall-clock reads (absolute time).  ``time.perf_counter``/``monotonic``
+#: are allowed: they are relative clocks, only ever used for telemetry
+#:  durations, never serialised as absolute timestamps.
+TIME_WALLCLOCK_FNS = frozenset({"time", "time_ns", "ctime", "localtime",
+                                "gmtime", "asctime"})
+DATETIME_WALLCLOCK_FNS = frozenset({"now", "utcnow", "today"})
+
+#: containers whose elements are client ids (or per-client state keyed by
+#: them); iterating them unordered feeds nondeterministic order into
+#: aggregation sums and event scheduling.
+CLIENT_CONTAINER_ATTRS = frozenset({"clients", "_in_flight",
+                                    "_participation"})
+#: safe wrappers that impose an explicit order (or reduce order away).
+ORDERING_CALLS = frozenset({"sorted", "min", "max", "sum", "len", "set",
+                            "frozenset"})
+
+
+def dotted_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _resolves_to(module: ModuleSource, name: str, target: str) -> bool:
+    """Does local ``name`` refer to module ``target`` (e.g. ``numpy``)?"""
+    bound = module.module_aliases.get(name)
+    if bound is not None:
+        return bound == target or bound.startswith(target + ".")
+    imported = module.imported_names.get(name)
+    if imported is not None:
+        source, original = imported
+        return f"{source}.{original}" == target if source else \
+            original == target
+    return False
+
+
+class NoGlobalRng(Rule):
+    """No draws from the hidden global RNGs, anywhere in ``src/``.
+
+    Global streams make a result depend on *everything that ran before*,
+    which breaks the (run_seed, round, client_id) purity contract and the
+    content-addressed cache's claim that a spec hash identifies a result.
+    """
+
+    rule_id = "no-global-rng"
+    protects = ("every random draw comes from an explicitly seeded "
+                "generator object, never the process-global stream")
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if chain is None:
+                continue
+            fn = chain[-1]
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            if (len(chain) >= 3 and chain[-2] == "random"
+                    and fn in NUMPY_GLOBAL_FNS
+                    and _resolves_to(module, chain[0], "numpy")):
+                yield self.finding(
+                    module, node,
+                    f"call to legacy global numpy RNG np.random.{fn}(); "
+                    f"use np.random.default_rng(...) or a derived stream "
+                    f"from repro.fl.seeding")
+            # <alias>.<fn>(...) where alias is the numpy.random module
+            elif (len(chain) == 2 and fn in NUMPY_GLOBAL_FNS
+                    and _resolves_to(module, chain[0], "numpy.random")):
+                yield self.finding(
+                    module, node,
+                    f"call to legacy global numpy RNG numpy.random.{fn}()")
+            # random.<fn>(...) on the stdlib module
+            elif (len(chain) == 2 and fn in STDLIB_RANDOM_FNS
+                    and _resolves_to(module, chain[0], "random")):
+                yield self.finding(
+                    module, node,
+                    f"call to stdlib global RNG random.{fn}(); use an "
+                    f"owned random.Random(seed) or numpy generator")
+            # bare <fn>(...) imported from the stdlib random module
+            elif (len(chain) == 1
+                    and module.imported_names.get(fn, ("", ""))[0] == "random"
+                    and module.imported_names[fn][1] in STDLIB_RANDOM_FNS):
+                yield self.finding(
+                    module, node,
+                    f"call to stdlib global RNG random.{fn} (imported "
+                    f"bare); use an owned generator")
+
+
+class NoWallclockInState(Rule):
+    """No absolute wall-clock reads outside explicitly allowed lines.
+
+    Absolute timestamps in anything that gets serialised (histories, cache
+    entries, checkpoints, specs) would break byte-identity between two
+    runs of the same cell.  Relative clocks (``perf_counter``) are fine —
+    they measure durations for telemetry and never enter serialised state.
+    Telemetry's trace epoch is the documented exception and carries an
+    allow comment.
+    """
+
+    rule_id = "no-wallclock-in-state"
+    protects = ("serialised state never embeds absolute timestamps, so "
+                "reruns of a cell stay byte-identical")
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if chain is None:
+                continue
+            fn = chain[-1]
+            if (len(chain) == 2 and fn in TIME_WALLCLOCK_FNS
+                    and _resolves_to(module, chain[0], "time")):
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read time.{fn}(); use time.perf_counter() "
+                    f"for durations, or allow[no-wallclock-in-state] with "
+                    f"a reason if an absolute epoch is genuinely needed")
+            elif (chain[-1] in DATETIME_WALLCLOCK_FNS and len(chain) >= 2
+                    and (_resolves_to(module, chain[0], "datetime")
+                         or module.imported_names.get(
+                             chain[0], ("", ""))[0] == "datetime")):
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {'.'.join(chain)}(); absolute "
+                    f"timestamps must not reach serialised state")
+
+
+class SortedIteration(Rule):
+    """Iteration over client-id containers must state its order.
+
+    ``for cid in algorithm.clients`` happens to be insertion-ordered on
+    CPython, but insertion order is an accident of construction (and a
+    worker-side replica may construct differently).  Aggregation order is
+    part of the result — floating-point sums do not commute — so the order
+    must be explicit: ``sorted(...)`` (or an order-free reduction).
+    """
+
+    rule_id = "sorted-iteration"
+    protects = ("client iteration feeding aggregation/event scheduling is "
+                "explicitly ordered, so accumulation order can never drift")
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        iter_exprs: list[ast.AST] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_exprs.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iter_exprs.extend(gen.iter for gen in node.generators)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ORDERING_CALLS):
+                # sorted(x.clients) and friends are the sanctioned forms;
+                # blank out their argument so the walk cannot re-flag it.
+                continue
+        for expr in iter_exprs:
+            container = self._client_container(module, expr)
+            if container is not None:
+                yield self.finding(
+                    module, expr,
+                    f"unordered iteration over client container "
+                    f"'{container}'; wrap it in sorted(...) so the "
+                    f"iteration order is explicit")
+
+    def _client_container(self, module: ModuleSource,
+                          expr: ast.AST) -> str | None:
+        """The offending container name, or None when the expr is fine."""
+        node = expr
+        # sorted(...)/min(...)/... impose or erase order: accept.
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ORDERING_CALLS):
+            return None
+        suffix = ""
+        if (isinstance(node, ast.Call) and isinstance(node.func,
+                                                      ast.Attribute)
+                and node.func.attr in ("keys", "values", "items")
+                and not node.args and not node.keywords):
+            suffix = f".{node.func.attr}()"
+            node = node.func.value
+        if (isinstance(node, ast.Attribute)
+                and node.attr in CLIENT_CONTAINER_ATTRS):
+            chain = dotted_chain(node)
+            name = ".".join(chain) if chain else node.attr
+            return f"{name}{suffix}"
+        return None

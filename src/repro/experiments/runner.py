@@ -234,8 +234,12 @@ def _memoised_load_dataset(name: str, seed: int = 0, **kwargs):
     if dataset is None:
         while len(_WORKER_DATASETS) >= _WORKER_DATASET_LIMIT:
             # Oldest-first eviction (insertion order), one entry at a time.
+            # repro: allow[pure-work-items] seeded-key dataset memo: entries
+            # are rebuilt deterministically from (name, seed, kwargs), so
+            # cache state changes cost but never results.
             _WORKER_DATASETS.pop(next(iter(_WORKER_DATASETS)))
         dataset = load_dataset(name, seed=seed, **kwargs)
+        # repro: allow[pure-work-items] same seeded-key memo as above.
         _WORKER_DATASETS[key] = dataset
     return dataset
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace as _dc_replace
+from typing import ClassVar
 
 from ..constraints import ConstraintSpec
 from ..fl.aggregation import ExecutionConfig
@@ -82,6 +83,14 @@ class RunSpec:
     #: hashed: the same cell caches identically at any worker count.
     workers: int | None = None
     executor: str | None = None    # "auto" | "inline" | "thread" | "process"
+
+    #: fields deliberately absent from :meth:`to_dict` and therefore from
+    #: :meth:`content_hash`: execution mechanics that cannot change
+    #: results.  ``repro lint``'s hash-field-coverage rule enforces that
+    #: every field is either serialised or listed here, so a new field can
+    #: never be hash-invisible by accident.
+    HASH_EXCLUDED: ClassVar[frozenset[str]] = frozenset({"workers",
+                                                         "executor"})
 
     # ------------------------------------------------------------------
     # Resolution

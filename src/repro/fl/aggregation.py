@@ -32,6 +32,7 @@ import math
 import time
 import warnings
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -46,6 +47,7 @@ from .executor import (EXECUTOR_KINDS, Executor, InlineExecutor,
                        make_work_item)
 from .faults import FaultModel, FaultSpec, corrupt_update
 from .history import History, RoundRecord
+from .sanitizers import freeze_arrays, frozen_arrays, resolve_strict
 
 __all__ = ["ExecutionConfig", "AggregationPolicy", "SynchronousPolicy",
            "BufferedPolicy", "AGGREGATION_POLICIES", "make_policy",
@@ -169,6 +171,21 @@ class ExecutionConfig:
     #: (including ``workers=1``) always wins.
     workers: int | None = None
     executor: str | None = None
+    #: strict-mode runtime sanitizers (:mod:`repro.fl.sanitizers`):
+    #: freeze broadcast arrays during dispatch and trip on legacy global
+    #: RNG use.  Observation-only — a strict run is byte-identical to a
+    #: non-strict one — so, like ``workers``, it is never serialised or
+    #: hashed.  ``None`` inherits the process default
+    #: (:func:`repro.fl.sanitizers.set_strict_mode`).
+    strict: bool | None = None
+
+    #: fields deliberately absent from :meth:`to_dict` and therefore from
+    #: the spec content hash: execution mechanics that cannot change
+    #: results.  ``repro lint``'s hash-field-coverage rule enforces that
+    #: every field is either serialised or listed here, so a new field
+    #: can never be hash-invisible by accident.
+    HASH_EXCLUDED: ClassVar[frozenset[str]] = frozenset({
+        "workers", "executor", "item_timeout_s", "item_retries", "strict"})
 
     def __post_init__(self):
         if self.policy not in AGGREGATION_POLICIES:
@@ -272,6 +289,11 @@ class AggregationPolicy:
         self._participation: dict[int, int] = {}
         #: seeded fault model, bound by :meth:`run` (None = healthy fleet).
         self.faults: FaultModel | None = None
+        #: strict-mode sanitizers (:mod:`repro.fl.sanitizers`): the
+        #: execution block's setting wins, then the sim config's, then
+        #: the process default.  Observation-only either way.
+        self.strict: bool = resolve_strict(
+            execution.strict, getattr(sim_config, "strict", None))
 
     # -- shared plumbing ------------------------------------------------
     def emit(self, event: Event) -> Event:
@@ -521,7 +543,18 @@ class SynchronousPolicy(AggregationPolicy):
                                 shared_broadcast=shared)
                  for cid in to_train]
         wall_timings: dict[int, dict] = {}
-        for cid, result in zip(to_train, executor.run_batch(items)):
+        if self.strict:
+            # Freeze the shared broadcast and the live global state for
+            # the whole batch: workers may only read them, so a mutation
+            # race raises at the offending write instead of corrupting a
+            # later round.  ``run_batch`` returns a completed list, so
+            # every worker's execution happens inside the guard.
+            with frozen_arrays(shared,
+                               getattr(algorithm, "global_state", None)):
+                batch = executor.run_batch(items)
+        else:
+            batch = executor.run_batch(items)
+        for cid, result in zip(to_train, batch):
             if result.timing is not None:
                 wall_timings[cid] = result.timing
             algorithm.apply_client_state(cid, result.client_state)
@@ -858,7 +891,18 @@ class BufferedPolicy(AggregationPolicy):
         item = make_work_item(algorithm, cid, version, self.sim_config.seed,
                               executor.needs_broadcast,
                               dispatch_index=repeat)
-        future = executor.submit(item)
+        if self.strict:
+            # The item's broadcast is its private snapshot of the server
+            # state at dispatch time (that snapshot *is* the staleness
+            # semantics) — freeze it for the item's whole flight so no
+            # worker can write into it while it trains.  The live global
+            # state is guarded only across the submit call, which covers
+            # the inline executor's eager execution.
+            freeze_arrays(item.broadcast)
+            with frozen_arrays(getattr(algorithm, "global_state", None)):
+                future = executor.submit(item)
+        else:
+            future = executor.submit(item)
         self.queue.push(Event(now + down + train, TRAIN_COMPLETE, cid))
         info: dict = {"future": future}
         if plan is not None:

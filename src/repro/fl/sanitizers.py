@@ -1,0 +1,153 @@
+"""Strict-mode runtime sanitizers: trap what static analysis cannot see.
+
+``repro lint`` (:mod:`repro.analysis`) proves the determinism contracts
+on every *line*; this module guards the two dynamic failure modes no AST
+walk can rule out:
+
+* **cross-client mutation races** — a worker writing into a broadcast
+  snapshot (or the live global state) while other clients train from it.
+  Strict mode sets ``writeable=False`` on every ndarray of the payloads
+  for the duration of dispatch, so any such write raises immediately, at
+  the offending line, instead of surfacing as a corrupted aggregate three
+  rounds later;
+* **legacy global RNG use** — a draw from ``np.random``'s hidden global
+  stream (or stdlib ``random``'s), which would make results depend on
+  whatever ran before.  The tripwire snapshots both global states around
+  a run and raises :class:`StrictModeViolation` if either moved.
+
+Both sanitizers are **observation-only**: a strict run produces a
+``History.to_json()`` byte-identical to a non-strict run (pinned by
+``tests/test_analysis.py``).  Enable per run via
+``ExecutionConfig(strict=True)`` / ``SimulationConfig(strict=True)``, or
+process-wide via :func:`set_strict_mode` (the CLI's ``--strict``).
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["StrictModeViolation", "set_strict_mode", "strict_enabled",
+           "resolve_strict", "collect_arrays", "frozen_arrays",
+           "freeze_arrays", "rng_tripwire"]
+
+
+class StrictModeViolation(RuntimeError):
+    """A determinism contract was broken at runtime under ``--strict``."""
+
+
+#: process-wide default, consulted when neither the ExecutionConfig nor
+#: the SimulationConfig sets ``strict`` explicitly.
+_STRICT_DEFAULT = False
+
+
+def set_strict_mode(enabled: bool) -> bool:
+    """Set the process-wide strict default; returns the previous value.
+
+    Mirrors :func:`repro.experiments.runner.set_default_parallelism`: the
+    CLI's ``--strict`` flips this once, and every run without an explicit
+    per-config setting inherits it.
+    """
+    global _STRICT_DEFAULT
+    previous = _STRICT_DEFAULT
+    _STRICT_DEFAULT = bool(enabled)
+    return previous
+
+
+def strict_enabled() -> bool:
+    return _STRICT_DEFAULT
+
+
+def resolve_strict(*flags: bool | None) -> bool:
+    """First explicit flag wins; the process default is the fallback.
+
+    Call as ``resolve_strict(execution.strict, sim_config.strict)`` — the
+    same inheritance order as ``workers``/``executor``.
+    """
+    for flag in flags:
+        if flag is not None:
+            return bool(flag)
+    return _STRICT_DEFAULT
+
+
+def collect_arrays(value):
+    """Yield every ndarray leaf of a broadcast-shaped payload (dicts,
+    lists, tuples, arrays — the shapes ``pack_broadcast`` produces)."""
+    if isinstance(value, np.ndarray):
+        yield value
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from collect_arrays(item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from collect_arrays(item)
+
+
+def freeze_arrays(*payloads) -> list[np.ndarray]:
+    """Set ``writeable=False`` on every currently-writeable array in the
+    payloads; returns the arrays that were flipped (so a caller can thaw
+    exactly those).  Already-frozen arrays are left alone — thawing them
+    is not ours to do."""
+    frozen: list[np.ndarray] = []
+    for payload in payloads:
+        for array in collect_arrays(payload):
+            if array.flags.writeable:
+                array.flags.writeable = False
+                frozen.append(array)
+    return frozen
+
+
+@contextmanager
+def frozen_arrays(*payloads):
+    """Freeze the payloads' arrays for the duration of the block.
+
+    Any write raises ``ValueError: assignment destination is read-only``
+    at the offending line.  Thaws on exit (in reverse order, so views
+    thaw before their bases re-enable them) exactly the arrays this call
+    froze, making nesting and shared arrays safe.
+    """
+    frozen = freeze_arrays(*payloads)
+    try:
+        yield
+    finally:
+        for array in reversed(frozen):
+            array.flags.writeable = True
+
+
+def _describe_np_state(state) -> tuple:
+    """Comparable form of a ``np.random.get_state()`` tuple."""
+    name, keys, pos, has_gauss, cached = state
+    return (name, keys.tobytes(), int(pos), int(has_gauss), float(cached))
+
+
+@contextmanager
+def rng_tripwire(context: str = "run"):
+    """Fail the block if it moved a hidden global RNG stream.
+
+    Snapshots the legacy numpy global state and stdlib ``random``'s state
+    before the block and compares after; any drift raises
+    :class:`StrictModeViolation` naming the stream.  The comparison reads
+    the states without drawing from them, so the tripwire itself is
+    invisible to both streams.
+    """
+    # repro: allow[no-global-rng] the tripwire must read the legacy global
+    # state to guard it; get_state() observes without drawing.
+    before_np = _describe_np_state(np.random.get_state())
+    # repro: allow[no-global-rng] same observation-only read, stdlib side.
+    before_py = random.getstate()
+    yield
+    # repro: allow[no-global-rng] observation-only read (see above).
+    after_np = _describe_np_state(np.random.get_state())
+    # repro: allow[no-global-rng] observation-only read (see above).
+    after_py = random.getstate()
+    if after_np != before_np:
+        raise StrictModeViolation(
+            f"legacy global numpy RNG was touched during {context}; "
+            f"all randomness must come from derived generators "
+            f"(repro.fl.seeding)")
+    if after_py != before_py:
+        raise StrictModeViolation(
+            f"stdlib global random state was touched during {context}; "
+            f"use an owned random.Random or a numpy generator")

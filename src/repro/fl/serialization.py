@@ -37,6 +37,13 @@ __all__ = ["history_to_dict", "history_from_dict", "save_history",
 #: ``tests/test_parallel_exec.py`` and ``tests/test_telemetry.py``).
 VOLATILE_EXTRA_KEYS = frozenset({"client_timings"})
 
+#: dataclass *fields* (as opposed to extras keys) that are deliberately
+#: dropped from the serialised form, keyed by payload class name.  Empty
+#: today: every field of ClientUpdate/RoundRecord/History round-trips.
+#: ``repro lint``'s serialization-coverage rule reads this declaration, so
+#: a field can only be dropped by naming it here — never by accident.
+VOLATILE_FIELDS: dict[str, frozenset] = {}
+
 
 def _serialisable_extras(extras: dict) -> dict:
     if VOLATILE_EXTRA_KEYS.isdisjoint(extras):

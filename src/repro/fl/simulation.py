@@ -25,6 +25,7 @@ the legacy loop has no notion of); the equivalence is pinned by
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +35,7 @@ from .aggregation import ExecutionConfig, make_policy, sample_count
 from .checkpoint import CheckpointConfig, make_checkpointer
 from .executor import Executor, make_executor, make_work_item
 from .history import History, RoundRecord
+from .sanitizers import frozen_arrays, resolve_strict, rng_tripwire
 
 __all__ = ["SimulationConfig", "run_simulation", "run_event_simulation",
            "sample_clients"]
@@ -65,6 +67,13 @@ class SimulationConfig:
     #: (:mod:`repro.fl.checkpoint`).  Purely mechanical — checkpointing is
     #: invisible in the History, so it never participates in hashing.
     checkpoint: CheckpointConfig | None = None
+    #: strict-mode runtime sanitizers (:mod:`repro.fl.sanitizers`):
+    #: broadcast arrays are frozen during dispatch and the legacy global
+    #: RNGs are tripwired.  Observation-only — results are byte-identical
+    #: either way.  ``None`` inherits the process default
+    #: (:func:`repro.fl.sanitizers.set_strict_mode`); an
+    #: ``ExecutionConfig.strict`` setting wins over this one.
+    strict: bool | None = None
 
 
 def sample_clients(num_clients: int, sample_ratio: float,
@@ -117,18 +126,21 @@ def run_simulation(algorithm, config: SimulationConfig,
     if config.execution is not None:
         return run_event_simulation(algorithm, config, executor=executor)
 
+    strict = resolve_strict(config.strict)
     owns_executor = executor is None
     if executor is None:
         executor = _simulation_executor(algorithm, config, None)
     try:
-        return _run_sync_loop(algorithm, config, executor)
+        with rng_tripwire("run_simulation") if strict else nullcontext():
+            return _run_sync_loop(algorithm, config, executor,
+                                  strict=strict)
     finally:
         if owns_executor:
             executor.close()
 
 
 def _run_sync_loop(algorithm, config: SimulationConfig,
-                   executor: Executor) -> History:
+                   executor: Executor, strict: bool = False) -> History:
     """The synchronous reference loop: every sampled client is always
     online and always finishes; the round waits for the straggler."""
     wall_start = time.perf_counter()
@@ -158,12 +170,22 @@ def _run_sync_loop(algorithm, config: SimulationConfig,
             # Stream results in dispatch order; with the inline executor
             # only one client's update is alive at a time (the legacy
             # memory profile), while pools drain as work completes.
-            for result in executor.stream(items):
-                if result.timing is not None:
-                    wall_timings[result.client_id] = result.timing
-                algorithm.apply_client_state(result.client_id,
-                                             result.client_state)
-                yield result.update
+            # Strict mode freezes the broadcast snapshot and the live
+            # global state for the duration of the stream: client work
+            # may only *read* them, so any mutation race raises at its
+            # own line.  The guard exits when the stream is exhausted —
+            # before ``ingest`` finalises, which legitimately writes the
+            # new global state.
+            guard = (frozen_arrays(shared,
+                                   getattr(algorithm, "global_state", None))
+                     if strict else nullcontext())
+            with guard:
+                for result in executor.stream(items):
+                    if result.timing is not None:
+                        wall_timings[result.client_id] = result.timing
+                    algorithm.apply_client_state(result.client_id,
+                                                 result.client_state)
+                    yield result.update
 
         # ``ingest`` drains the executor stream, so this span covers the
         # round's client work plus aggregation (the legacy loop has no
@@ -224,6 +246,8 @@ def run_event_simulation(algorithm, config: SimulationConfig,
     execution = execution or config.execution or ExecutionConfig()
     availability = execution.build_availability(algorithm.num_clients,
                                                 sim_seed=config.seed)
+    strict = resolve_strict(execution.strict,
+                            getattr(config, "strict", None))
     owns_executor = executor is None
     if executor is None:
         executor = _simulation_executor(algorithm, config, execution)
@@ -233,7 +257,9 @@ def run_event_simulation(algorithm, config: SimulationConfig,
         # than leak workers.
         policy = make_policy(config, execution, availability,
                              executor=executor)
-        return policy.run(algorithm)
+        with rng_tripwire("run_event_simulation") if strict \
+                else nullcontext():
+            return policy.run(algorithm)
     finally:
         if owns_executor:
             executor.close()
