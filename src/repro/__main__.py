@@ -12,6 +12,10 @@ Usage::
     python -m repro run fig4 --log-json --log-level debug
     python -m repro profile fig4 smoke             # trace + telemetry report
     python -m repro lint                           # determinism contracts
+    python -m repro sweep create results/grid.manifest.json --scale demo
+    python -m repro sweep run results/grid.manifest.json --shard 0/4
+    python -m repro sweep status results/grid.manifest.json --shards 4
+    python -m repro sweep resume results/grid.manifest.json --shard 0/4
 
 Artifacts come from the registry (:mod:`repro.experiments.registry`) —
 every ``@register_artifact`` module is auto-discovered.  Runs are cached
@@ -51,7 +55,7 @@ from .telemetry.report import report_rows
 from .telemetry.runtime import telemetry_session
 from .telemetry.tracing import validate_chrome_trace
 
-_SUBCOMMANDS = ("list", "describe", "run", "profile", "lint")
+_SUBCOMMANDS = ("list", "describe", "run", "profile", "lint", "sweep")
 
 #: where ``repro profile`` drops traces unless ``--trace-out`` overrides it.
 DEFAULT_PROFILE_DIR = Path("results") / "profile"
@@ -194,6 +198,110 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--memory", action="store_true",
                          help="trace peak memory per top-level span "
                               "(tracemalloc; slows the run)")
+
+    sweep = sub.add_parser(
+        "sweep", parents=[logging_options],
+        help="manifest-driven, resumable, shardable experiment sweeps",
+        description="Orchestrate large experiment grids through a sweep "
+                    "manifest: an expanded, content-hashed spec list. "
+                    "Per-cell status is derived from run-cache presence "
+                    "(never stored), so `resume` is literally `run` "
+                    "re-invoked and a SIGKILLed sweep loses at most its "
+                    "in-flight cells.  --shard K/N partitions the grid "
+                    "deterministically across hosts.")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command")
+
+    sweep_create = sweep_sub.add_parser(
+        "create", parents=[logging_options],
+        help="expand a grid into a manifest file",
+        description="Expand (datasets x seeds x algorithms [+ baseline]) "
+                    "into unique RunSpecs and write them as a manifest. "
+                    "The manifest is immutable input — no status, no "
+                    "timestamps — so any number of hosts can run it "
+                    "concurrently.")
+    sweep_create.add_argument("manifest", help="manifest file to write")
+    sweep_create.add_argument("--name", default=None,
+                              help="sweep name (default: manifest stem)")
+    sweep_create.add_argument("--algorithms", type=_parse_str_list,
+                              default=None, metavar="A1,A2",
+                              help="algorithms (default: all MHFL)")
+    sweep_create.add_argument("--datasets", type=_parse_str_list,
+                              default=None, metavar="D1,D2",
+                              help="datasets (default: all)")
+    sweep_create.add_argument("--constraints", type=_parse_str_list,
+                              default=["computation"], metavar="C1,C2",
+                              help="constraint kinds (default: computation)")
+    sweep_create.add_argument("--availability", default="always_on",
+                              choices=("always_on", "diurnal", "markov",
+                                       "dropout"),
+                              help="fleet availability scenario")
+    sweep_create.add_argument("--scale", default="demo",
+                              help="scale preset: smoke | demo | paper")
+    sweep_create.add_argument("--seeds", type=_parse_int_list,
+                              default=[0], metavar="0,1,2",
+                              help="seeds to sweep (default: 0)")
+    sweep_create.add_argument("--partition-scheme", default="auto",
+                              help="data partition scheme (default: auto)")
+    sweep_create.add_argument("--alpha", type=float, default=0.5,
+                              help="Dirichlet alpha (default: 0.5)")
+    sweep_create.add_argument("--num-clients", type=int, default=None,
+                              help="override the scale's client count")
+    sweep_create.add_argument("--no-baseline", action="store_true",
+                              help="omit the fedavg_smallest baseline cells")
+    sweep_create.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help=f"cache directory the manifest targets "
+                                   f"(default: {DEFAULT_CACHE_DIR})")
+
+    for verb, text in (("run", "run the manifest's pending cells"),
+                       ("resume", "alias for run: re-derive pending cells "
+                                  "from the cache and continue")):
+        sweep_run = sweep_sub.add_parser(
+            verb, parents=[logging_options], help=text,
+            description="Derive pending cells (manifest minus cache) and "
+                        "execute them with bounded concurrency.  Safe to "
+                        "kill at any point: every finished cell is one "
+                        "atomic cache write, so re-invoking continues "
+                        "where the cache left off.")
+        sweep_run.add_argument("manifest", help="manifest file to run")
+        sweep_run.add_argument("--shard", default=None, metavar="K/N",
+                               help="run only cells with "
+                                    "hash %% N == K (multi-host split)")
+        sweep_run.add_argument("--workers", type=int, default=None,
+                               metavar="N",
+                               help="cells in flight at once (process "
+                                    "pool; results identical for any N)")
+        sweep_run.add_argument("--executor", default=None,
+                               choices=("auto", "inline", "thread",
+                                        "process"),
+                               help="cell fan-out executor (default: auto)")
+        sweep_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                               help="override the manifest's cache "
+                                    "directory")
+        sweep_run.add_argument("--no-telemetry", action="store_true",
+                               help="skip the per-cell telemetry sidecars "
+                                    "status reads throughput from")
+
+    sweep_status = sweep_sub.add_parser(
+        "status", parents=[logging_options],
+        help="derived progress: per-algorithm / per-shard / total",
+        description="Derive done/pending per cell from cache presence "
+                    "(nothing is stored, so this can never be stale) and "
+                    "print per-algorithm progress plus throughput from "
+                    "the telemetry sidecars.  --shards N adds one row per "
+                    "shard of an N-way partition.")
+    sweep_status.add_argument("manifest", help="manifest file to inspect")
+    sweep_status.add_argument("--shard", default=None, metavar="K/N",
+                              help="restrict the view to one shard")
+    sweep_status.add_argument("--shards", type=int, default=None,
+                              metavar="N",
+                              help="also break progress down by N-way "
+                                   "shard")
+    sweep_status.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="override the manifest's cache "
+                                   "directory")
+    sweep_status.add_argument("--out", default="table",
+                              choices=("table", "json", "csv"),
+                              help="output format (default: table)")
 
     lint = sub.add_parser(
         "lint", parents=[logging_options],
@@ -395,6 +503,87 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments.sweep import (Shard, SweepManifest, expand_grid,
+                                    run_sweep, status_rows)
+    if args.sweep_command is None:
+        _log.error("sweep needs a subcommand: create | run | status | "
+                   "resume (see python -m repro sweep --help)")
+        return 2
+
+    if args.sweep_command == "create":
+        path = Path(args.manifest)
+        try:
+            specs = expand_grid(
+                algorithms=args.algorithms, datasets=args.datasets,
+                constraints=tuple(args.constraints),
+                availability=args.availability, scale=args.scale,
+                seeds=tuple(args.seeds),
+                partition_scheme=args.partition_scheme, alpha=args.alpha,
+                num_clients=args.num_clients,
+                with_baseline=not args.no_baseline)
+            manifest = SweepManifest(
+                name=args.name or path.stem.split(".")[0], specs=specs,
+                cache_dir=args.cache_dir or str(DEFAULT_CACHE_DIR))
+        except ValueError as error:
+            _log.error("%s", error)
+            return 2
+        manifest.save(path)
+        print(f"manifest {manifest.name}: {len(manifest.specs)} cells "
+              f"-> {path}")
+        print(f"  cache: {manifest.cache_dir}")
+        print(f"  run with: python -m repro sweep run {path} "
+              f"[--shard K/N] [--workers N]")
+        return 0
+
+    try:
+        manifest = SweepManifest.load(args.manifest)
+    except ValueError as error:
+        _log.error("%s", error)
+        return 2
+    try:
+        shard = Shard.parse(args.shard) if args.shard else Shard()
+    except ValueError as error:
+        _log.error("%s", error)
+        return 2
+    cache = RunCache(args.cache_dir) if args.cache_dir else manifest.cache()
+
+    if args.sweep_command == "status":
+        rows = status_rows(manifest, shard, cache=cache,
+                           shards=args.shards)
+        print(write_rows(rows, out=args.out,
+                         title=f"Sweep: {manifest.name} "
+                               f"[shard {shard.label}]"))
+        return 0
+
+    # run | resume — deliberately the same code path: pending cells are
+    # re-derived from the cache on every invocation.
+    stack = contextlib.ExitStack()
+    with stack:
+        if not args.no_telemetry:
+            # A session makes execute_spec (and its pool workers) persist
+            # per-cell telemetry sidecars, which is where `status` gets
+            # its throughput numbers.  Observation-only: cell results are
+            # byte-identical either way.
+            stack.enter_context(telemetry_session(
+                meta={"sweep": manifest.name, "shard": shard.label}))
+        report = run_sweep(manifest, shard, cache=cache,
+                           workers=args.workers, executor=args.executor)
+    # The exact "# sweep: ..." text is CLI contract like "# cache: ..."
+    # below — CI greps it to assert a completed sweep re-runs as all-hits.
+    _log.info("# sweep: total=%d done=%d executed=%d already_done=%d "
+              "cache_served=%d",
+              report.total, report.done, report.executed,
+              report.already_done, report.cache_served,
+              extra={"sweep": report.manifest, "shard": report.shard})
+    _report_cache(cache)
+    print(f"sweep {report.manifest} shard {report.shard}: "
+          f"{report.done}/{report.total} done "
+          f"({report.executed} executed, {report.already_done} already "
+          f"cached, {report.cache_served} served mid-run)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # Default logging config so pre-parse warnings/errors are visible;
@@ -435,6 +624,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "lint":
         from .analysis.cli import lint_command
         return lint_command(args)

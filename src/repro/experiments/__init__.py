@@ -27,6 +27,9 @@ from .runner import (Checkpointing, Parallelism, RunResult,
                      set_default_parallelism)
 from .scales import SCALES, ExperimentScale, get_scale, resolve_scale
 from .spec import RunSpec
+from .sweep import (CellStatus, Shard, SweepManifest, SweepRunReport,
+                    SweepStatus, expand_grid, run_sweep, shard_of,
+                    status_rows)
 
 # Figure/table modules (repro.experiments.table1, .fig4, ...) are imported
 # lazily by name — importing them here would shadow `python -m` execution.
@@ -43,4 +46,6 @@ __all__ = [
     "Artifact", "all_artifacts", "artifact_names", "get_artifact",
     "register_artifact",
     "SCALES", "ExperimentScale", "get_scale", "resolve_scale",
+    "SweepManifest", "SweepStatus", "SweepRunReport", "CellStatus",
+    "Shard", "shard_of", "expand_grid", "run_sweep", "status_rows",
 ]

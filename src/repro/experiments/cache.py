@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 _log = get_logger("cache")
 
 __all__ = ["RunCache", "CachedRun", "DEFAULT_CACHE_DIR",
-           "default_cache", "set_default_cache"]
+           "default_cache", "set_default_cache", "atomic_write_text"]
 
 #: layout version of the on-disk entries; mismatches read as misses.
 CACHE_VERSION = 1
@@ -43,7 +43,7 @@ CACHE_VERSION = 1
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 
-def _atomic_write_text(directory: Path, path: Path, text: str) -> None:
+def atomic_write_text(directory: Path, path: Path, text: str) -> None:
     """Publish ``text`` at ``path`` via a unique temp file + atomic rename.
 
     Concurrency-safe for parallel sweep cells sharing one cache directory:
@@ -100,6 +100,24 @@ class RunCache:
         """Where a run's telemetry serialises, next to its cache entry."""
         return self.directory / f"{spec.content_hash()}.telemetry.json"
 
+    def contains(self, spec: "RunSpec") -> bool:
+        """Whether a valid entry for ``spec`` exists, without counting it.
+
+        This is the status probe behind sweep orchestration: derived
+        ``done``/``pending`` state must be able to scan a manifest without
+        skewing the ``hits``/``misses`` counters that make "the second run
+        trained nothing" observable.  Validity matches :meth:`get` exactly
+        — unreadable, version-skewed, or hash-colliding entries read as
+        absent.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        return (payload.get("cache_version") == CACHE_VERSION
+                and payload.get("spec") == spec.to_dict())
+
     def get(self, spec: "RunSpec") -> CachedRun | None:
         """The cached run for ``spec``, or ``None`` on a miss.
 
@@ -130,7 +148,7 @@ class RunCache:
             level_distribution: dict | None = None) -> Path:
         """Persist a finished run; returns the entry path.
 
-        Concurrency-safe via :func:`_atomic_write_text`: parallel sweep
+        Concurrency-safe via :func:`atomic_write_text`: parallel sweep
         cells (multiple processes writing the shared cache) can never
         interleave bytes or expose a half-written entry; same-cell racers
         each publish a complete, identical file and the last rename wins.
@@ -146,7 +164,7 @@ class RunCache:
         # Serialise before touching the filesystem: an unserialisable
         # payload then raises without ever creating a temp file.
         text = json.dumps(payload, indent=1)
-        _atomic_write_text(self.directory, path, text)
+        atomic_write_text(self.directory, path, text)
         telemetry.inc("cache.puts")
         return path
 
@@ -163,7 +181,7 @@ class RunCache:
         text = json.dumps({"cache_version": CACHE_VERSION,
                            "spec": spec.to_dict(),
                            "telemetry": payload}, indent=1)
-        _atomic_write_text(self.directory, path, text)
+        atomic_write_text(self.directory, path, text)
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

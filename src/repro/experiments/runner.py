@@ -333,7 +333,8 @@ def _execute_spec_live(spec: RunSpec, cache: RunCache | None,
     return result
 
 
-def _execute_spec_payload(payload: dict, cache_dir: str | None) -> dict:
+def _execute_spec_payload(payload: dict, cache_dir: str | None,
+                          with_telemetry: bool = False) -> dict:
     """Sweep-pool worker: execute one spec, return a picklable result.
 
     Runs in its own process with the parallelism default reset to one
@@ -342,6 +343,13 @@ def _execute_spec_payload(payload: dict, cache_dir: str | None) -> dict:
     inherit the parent's module globals, including a CLI-set default.)
     The worker writes the shared cache itself (atomic renames make the
     concurrent writes safe) and ships the history back for the parent.
+
+    ``with_telemetry`` mirrors whether the *parent* had a telemetry
+    session at submit time: spawn-start pools lose the parent's collector,
+    and fork-start pools would inherit one they must not merge into, so
+    the worker opens its own session exactly when the parent would have
+    written a sidecar for this cell — no more (a telemetry-less sweep
+    writes no sidecars at any worker count), no less.
     """
     set_default_parallelism(1, "auto")
     # to_dict strips parallelism fields, so the rebuilt spec inherits the
@@ -349,7 +357,11 @@ def _execute_spec_payload(payload: dict, cache_dir: str | None) -> dict:
     # hold even for hand-authored payloads that smuggle a workers key in.
     spec = RunSpec.from_dict(payload).replace(workers=1, executor="inline")
     cache = RunCache(cache_dir) if cache_dir is not None else None
-    result = execute_spec(spec, cache=cache)
+    if with_telemetry:
+        with telemetry.telemetry_session():
+            result = execute_spec(spec, cache=cache)
+    else:
+        result = execute_spec(spec, cache=cache)
     return {
         "history": history_to_dict(result.history),
         "num_classes": result.num_classes,
@@ -360,7 +372,9 @@ def _execute_spec_payload(payload: dict, cache_dir: str | None) -> dict:
 
 def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
                   workers: int | None = None,
-                  executor: str | None = None) -> list[RunResult]:
+                  executor: str | None = None,
+                  on_result: Callable[[RunSpec, RunResult], None] | None
+                  = None) -> list[RunResult]:
     """Execute a sweep of independent cells, fanning out across processes.
 
     With one worker (the default when :func:`set_default_parallelism` was
@@ -372,6 +386,10 @@ def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
     they leave behind — are identical to the sequential sweep, in the
     input order.
 
+    ``on_result(spec, result)`` fires once per cell as it completes (in
+    input order at any worker count — the sweep orchestrator's progress
+    hook); an exception from the callback aborts the sweep.
+
     Cells with live hooks (``mutate``/``execution_factory``) cannot cross
     a process boundary; route those through :func:`execute_spec`.
     """
@@ -379,7 +397,13 @@ def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
     cache = _resolve_cache(cache)
     sweep_workers, kind = _resolve_parallelism(workers, executor)
     if sweep_workers <= 1 or len(specs) <= 1 or kind == "inline":
-        return [execute_spec(spec, cache=cache) for spec in specs]
+        results = []
+        for spec in specs:
+            result = execute_spec(spec, cache=cache)
+            if on_result is not None:
+                on_result(spec, result)
+            results.append(result)
+        return results
 
     cache_dir = None if cache is None else str(cache.directory)
     results: list[RunResult] = []
@@ -388,7 +412,8 @@ def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
     with ProcessPoolExecutor(
             max_workers=min(sweep_workers, len(specs))) as pool:
         futures = [pool.submit(_execute_spec_payload,
-                               spec.to_dict(), cache_dir)
+                               spec.to_dict(), cache_dir,
+                               telemetry.enabled())
                    for spec in specs]
         for spec, future in zip(specs, futures):
             with telemetry.span("sweep_cell", algorithm=spec.algorithm,
@@ -406,11 +431,14 @@ def execute_specs(specs: Sequence[RunSpec], *, cache=DEFAULT,
                 else:
                     cache.misses += 1
                     telemetry.inc("cache.misses")
-            results.append(RunResult(
+            result = RunResult(
                 history=history_from_dict(payload["history"]),
                 scenario=None, num_classes=payload["num_classes"],
                 spec=spec, from_cache=payload["from_cache"],
-                _cached_levels=dict(payload["level_distribution"])))
+                _cached_levels=dict(payload["level_distribution"]))
+            if on_result is not None:
+                on_result(spec, result)
+            results.append(result)
     return results
 
 
