@@ -10,12 +10,17 @@ Works with both benchmark schemas in this repo:
 
 Every numeric leaf present in both files is compared.  Keys containing
 ``per_sec`` count as throughput (higher is better); keys containing
-``seconds`` count as latency (lower is better).  Exit status is non-zero
-when any entry regresses by more than ``--threshold`` (default 20%).
+``seconds`` count as latency (lower is better).  Keys ending in
+``_bytes`` or ``_calls`` are **counters** (lower is better): deterministic
+allocation / op-count columns that do not depend on machine speed or CPU
+count, gated by the separate ``--counter-threshold`` so a loose wall-clock
+threshold (needed on noisy CI hosts) never loosens them.  Exit status is
+non-zero when any entry regresses beyond its threshold (default 20%).
 
 Usage::
 
-    python results/compare_bench.py old.json new.json [--threshold 0.2]
+    python results/compare_bench.py old.json new.json \
+        [--threshold 0.2] [--counter-threshold 0.2]
 """
 
 from __future__ import annotations
@@ -45,6 +50,8 @@ def _direction(path: str) -> str | None:
     influence the comparison direction.
     """
     leaf = path.rsplit(".", 1)[-1].lower()
+    if leaf.endswith("_bytes") or leaf.endswith("_calls"):
+        return "counter"
     if "per_sec" in leaf or "ops" in leaf:
         return "up"
     if "seconds" in leaf or "_time" in leaf:
@@ -52,15 +59,22 @@ def _direction(path: str) -> str | None:
     return None
 
 
-def compare(old_doc: dict, new_doc: dict,
-            threshold: float) -> tuple[list[str], list[str], list[str]]:
+def compare(old_doc: dict, new_doc: dict, threshold: float,
+            counter_threshold: float | None = None,
+            ) -> tuple[list[str], list[str], list[str]]:
     """Return (report, regressions, skipped) lines.
 
     ``skipped`` names direction-ful metrics present in only one file —
     an op added to or removed from the suite between the two runs.  They
     are reported (so coverage changes are visible) but never counted as
     regressions: a renamed benchmark must not fail the gate.
+
+    Counter leaves (``*_bytes`` / ``*_calls``) regress when they *grow*
+    beyond ``counter_threshold``; it defaults to ``threshold`` so the
+    three-argument form keeps its historical behaviour.
     """
+    if counter_threshold is None:
+        counter_threshold = threshold
     old = _numeric_leaves(old_doc)
     new = _numeric_leaves(new_doc)
     report: list[str] = []
@@ -83,6 +97,8 @@ def compare(old_doc: dict, new_doc: dict,
             regressions.append(line)
         elif direction == "down" and ratio > 1.0 + threshold:
             regressions.append(line)
+        elif direction == "counter" and ratio > 1.0 + counter_threshold:
+            regressions.append(line)
     return report, regressions, skipped
 
 
@@ -92,11 +108,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--counter-threshold", type=float, default=None,
+                        help="allowed fractional growth for *_bytes/*_calls "
+                             "counter leaves (defaults to --threshold)")
     args = parser.parse_args(argv)
 
     old_doc = json.loads(args.old.read_text())
     new_doc = json.loads(args.new.read_text())
-    report, regressions, skipped = compare(old_doc, new_doc, args.threshold)
+    report, regressions, skipped = compare(old_doc, new_doc, args.threshold,
+                                           args.counter_threshold)
 
     for entry in skipped:
         print(f"warning: skipping {entry}: not in both files",

@@ -20,12 +20,13 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from . import plan as _plan
 from . import profiler
 from .tensor import Tensor, _needs_grad
 
 __all__ = [
     "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
-    "batch_norm", "layer_norm", "embedding", "dropout",
+    "batch_norm", "layer_norm", "embedding", "dropout", "attention",
     "softmax", "log_softmax", "cross_entropy", "soft_cross_entropy",
     "mse_loss", "linear",
 ]
@@ -49,17 +50,57 @@ def _im2col_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
 
 
 def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
-            stride: int) -> np.ndarray:
-    """Scatter-add patch gradients back into an NCHW array (im2col adjoint)."""
+            stride: int, pad: int = 0) -> np.ndarray:
+    """Scatter-add patch gradients back into an NCHW array (im2col adjoint).
+
+    ``x_shape`` is the *unpadded* target; a non-zero ``pad`` folds the
+    un-padding into the scatter by clipping each kernel offset's slice, so
+    the padded intermediate (and the extra slice copy to strip it) never
+    exists.  Per kernel offset the accumulation order matches the padded
+    formulation exactly — results are bit-identical.
+
+    Non-overlapping windows (``stride >= kernel``, unpadded) write disjoint
+    pixels, so the adjoint is ``kh*kw`` plain strided *assignments* into
+    uninitialised memory — no zero fill, no read-modify-write passes.
+    Overlapping windows keep the ``kh*kw`` strided-add loop: each pass is a
+    dense slice add over the full batch, which beats gather/
+    ``np.add.reduceat`` formulations whose per-segment ufunc dispatch
+    dominates at the tiny (``kh*kw``-element) segment sizes conv gradients
+    produce.
+    """
     n, c, h, w = x_shape
-    oh = (h - kh) // stride + 1
-    ow = (w - kw) // stride + 1
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+
+    if pad == 0 and stride >= kh and stride >= kw:
+        x = np.empty(x_shape, dtype=cols.dtype)
+        if not (stride == kh == kw and h == stride * oh and w == stride * ow):
+            x[...] = 0.0  # windows don't tile the image: gaps stay zero
+        for i in range(kh):
+            i_end = i + stride * oh
+            for j in range(kw):
+                j_end = j + stride * ow
+                x[:, :, i:i_end:stride, j:j_end:stride] = cols[:, :, i, j]
+        return x
+
     x = np.zeros(x_shape, dtype=cols.dtype)
     for i in range(kh):
-        i_end = i + stride * oh
+        # Output rows oy with 0 <= i - pad + stride*oy < h.
+        oy0 = max(0, (pad - i + stride - 1) // stride)
+        oy1 = min(oh, (h - 1 - i + pad) // stride + 1)
+        if oy1 <= oy0:
+            continue
+        ys = i - pad + stride * oy0
+        ye = i - pad + stride * (oy1 - 1) + 1
         for j in range(kw):
-            j_end = j + stride * ow
-            x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+            ox0 = max(0, (pad - j + stride - 1) // stride)
+            ox1 = min(ow, (w - 1 - j + pad) // stride + 1)
+            if ox1 <= ox0:
+                continue
+            xs = j - pad + stride * ox0
+            xe = j - pad + stride * (ox1 - 1) + 1
+            x[:, :, ys:ye:stride, xs:xe:stride] += \
+                cols[:, :, i, j, oy0:oy1, ox0:ox1]
     return x
 
 
@@ -83,7 +124,12 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     xd = x.data
     if padding:
-        xd = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        # Manual zero-fill + centre assignment: np.pad's generic machinery
+        # costs ~4x as much for this (constant, symmetric, 2-axis) case.
+        padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding),
+                          dtype=xd.dtype)
+        padded[:, :, padding:-padding, padding:-padding] = xd
+        xd = padded
     hp, wp = xd.shape[2], xd.shape[3]
     oh = (hp - kh) // stride + 1
     ow = (wp - kw) // stride + 1
@@ -94,6 +140,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     if profiler.profiling_active():
         macs = n * oc * oh * ow * cg * kh * kw
         profiler.add_flops(2 * macs, kind="conv2d")
+        profiler.add_gemm_calls(n if groups == 1 else n * groups)
 
     # Pointwise (1x1, stride 1) convs are pure channel mixes: the GEMM input
     # is just a reshape of the (padded) input — no patch copy at all.
@@ -102,8 +149,12 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         cols = xd.reshape(n, groups, k, span)
     else:
         view = _im2col_view(xd, kh, kw, stride)
-        # The only copy of the forward pass: C-level gather into GEMM layout.
-        cols = view.reshape(n, groups, k, span)
+        # The only copy of the forward pass: C-level gather into GEMM
+        # layout.  The destination comes from the step-plan arena when one
+        # is active, so repeated steps recycle the (largest) conv buffers.
+        buf = _plan.workspace((n, c, kh, kw, oh, ow), xd.dtype)
+        np.copyto(buf, view)
+        cols = buf.reshape(n, groups, k, span)
 
     if groups == 1:
         wmat = weight.data.reshape(oc, k)
@@ -126,25 +177,51 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                 # reduce the batch axis.
                 dw = np.matmul(g, cols.reshape(n, k, span).transpose(0, 2, 1))
                 dw = dw.sum(axis=0).reshape(weight.shape)
+                if profiler.profiling_active():
+                    profiler.add_gemm_calls(n)
             if _needs_grad(x):
                 dcols = wmat.T @ g                          # (n, k, span)
+                if profiler.profiling_active():
+                    profiler.add_gemm_calls(n)
+        elif ocg == 1:
+            # Depthwise (one output channel per group): each dcols "GEMM"
+            # is (k,1)@(1,span) — an outer product — so batched matmul
+            # would dispatch n*groups tiny kernels with no arithmetic
+            # intensity; one broadcast multiply is ~2.5x faster and
+            # bit-identical.  dw stays a batched GEMM: its (1,span)@(span,k)
+            # row-matrix products batch well, and every einsum/multiply-sum
+            # reformulation measured slower.
+            g = grad.reshape(n, groups, ocg, span)
+            if _needs_grad(weight):
+                dw = np.matmul(g, cols.transpose(0, 1, 3, 2)).sum(axis=0)
+                dw = dw.reshape(weight.shape)
+                if profiler.profiling_active():
+                    profiler.add_gemm_calls(n * groups)
+            if _needs_grad(x):
+                dcols = (wmat.reshape(1, groups, k, 1)
+                         * grad.reshape(n, groups, 1, span))
         else:
             g = grad.reshape(n, groups, ocg, span)
             if _needs_grad(weight):
                 dw = np.matmul(g, cols.transpose(0, 1, 3, 2)).sum(axis=0)
                 dw = dw.reshape(weight.shape)
+                if profiler.profiling_active():
+                    profiler.add_gemm_calls(n * groups)
             if _needs_grad(x):
                 dcols = np.matmul(wmat.transpose(0, 2, 1), g)
+                if profiler.profiling_active():
+                    profiler.add_gemm_calls(n * groups)
         if bias is not None and _needs_grad(bias):
             db = grad.sum(axis=(0, 2, 3))
         if _needs_grad(x):
             if pointwise:
                 dxp = dcols.reshape(padded_shape)
+                dx = (dxp[:, :, padding:-padding, padding:-padding]
+                      if padding else dxp)
             else:
-                dxp = _col2im(dcols.reshape(n, c, kh, kw, oh, ow),
-                              padded_shape, kh, kw, stride)
-            dx = (dxp[:, :, padding:-padding, padding:-padding]
-                  if padding else dxp)
+                # col2im scatters straight into the unpadded gradient.
+                dx = _col2im(dcols.reshape(n, c, kh, kw, oh, ow),
+                             (n, c, h, w), kh, kw, stride, pad=padding)
         if bias is None:
             return dx, dw
         return dx, dw, db
@@ -185,9 +262,13 @@ def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
     out = view.mean(axis=(3, 5))
 
     def backward(grad: np.ndarray) -> tuple:
+        # Materialise the broadcast directly into a C-contiguous buffer
+        # (broadcast_to(...).reshape(...) forced the same copy *plus* an
+        # intermediate; 0-stride views also hit slow paths downstream).
         g = grad[:, :, :, None, :, None] / (kernel * kernel)
-        g = np.broadcast_to(g, (n, c, oh, kernel, ow, kernel))
-        return (g.reshape(n, c, h, w),)
+        full = np.empty((n, c, h, w), dtype=g.dtype)
+        full.reshape(n, c, oh, kernel, ow, kernel)[...] = g
+        return (full,)
 
     return Tensor._make(out, (x,), backward)
 
@@ -198,8 +279,9 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
     out = x.data.mean(axis=(2, 3))
 
     def backward(grad: np.ndarray) -> tuple:
-        g = grad[:, :, None, None] / (h * w)
-        return (np.broadcast_to(g, x.shape),)
+        full = np.empty(x.shape, dtype=grad.dtype)
+        full[...] = grad[:, :, None, None] / (h * w)
+        return (full,)
 
     return Tensor._make(out, (x,), backward)
 
@@ -357,10 +439,21 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
 # Softmax family
 # ----------------------------------------------------------------------
 
-def _softmax_np(z: np.ndarray) -> np.ndarray:
-    z = z - z.max(axis=-1, keepdims=True)
+def _shifted_exp(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared max-shift stage of the softmax family.
+
+    Returns ``(z, e, esum)`` where ``z = x - rowmax``, ``e = exp(z)`` and
+    ``esum`` is the last-axis sum of ``e`` (keepdims).  Softmax is
+    ``e / esum``; log-softmax is ``z - log(esum)``.
+    """
+    z = x - x.max(axis=-1, keepdims=True)
     e = np.exp(z)
-    return e / e.sum(axis=-1, keepdims=True)
+    return z, e, e.sum(axis=-1, keepdims=True)
+
+
+def _softmax_np(x: np.ndarray) -> np.ndarray:
+    _, e, esum = _shifted_exp(x)
+    return e / esum
 
 
 def softmax(x: Tensor) -> Tensor:
@@ -374,11 +467,12 @@ def softmax(x: Tensor) -> Tensor:
 
 
 def log_softmax(x: Tensor) -> Tensor:
-    z = x.data - x.data.max(axis=-1, keepdims=True)
-    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
-    out = z - lse
+    z, _, esum = _shifted_exp(x.data)
+    out = z - np.log(esum)
 
     def backward(grad: np.ndarray) -> tuple:
+        # ``np.exp(out)``, not ``e / esum``: the two round differently in the
+        # last bit and pinned histories require the exp(log_softmax) form.
         soft = np.exp(out)
         return (grad - soft * grad.sum(axis=-1, keepdims=True),)
 
@@ -389,13 +483,13 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Mean cross-entropy between ``logits`` (N, K) and integer ``labels``."""
     labels = np.asarray(labels)
     n = logits.shape[0]
-    z = logits.data - logits.data.max(axis=-1, keepdims=True)
-    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
-    logp = z - lse
+    z, _, esum = _shifted_exp(logits.data)
+    logp = z - np.log(esum)
 
     loss = -logp[np.arange(n), labels].mean()
 
     def backward(grad: np.ndarray) -> tuple:
+        # exp(logp) rather than e / esum for bit-identity with pinned runs.
         soft = np.exp(logp)
         soft[np.arange(n), labels] -= 1.0
         soft *= grad / n
@@ -412,14 +506,17 @@ def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
     """
     target = np.asarray(target_probs, dtype=logits.dtype)
     n = logits.shape[0]
-    z = logits.data - logits.data.max(axis=-1, keepdims=True)
-    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
-    logp = z - lse
+    z, _, esum = _shifted_exp(logits.data)
+    logp = z - np.log(esum)
     loss = -(target * logp).sum(axis=-1).mean()
 
     def backward(grad: np.ndarray) -> tuple:
+        # exp(logp) rather than e / esum for bit-identity with pinned runs.
         soft = np.exp(logp)
-        return (grad * (soft - target) / n,)
+        soft -= target
+        soft *= grad
+        soft /= n
+        return (soft,)
 
     return Tensor._make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
 
@@ -463,3 +560,76 @@ def dropout(x: Tensor, p: float, training: bool,
         return (grad * mask,)
 
     return Tensor._make(x.data * mask, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Fused attention
+# ----------------------------------------------------------------------
+
+def attention(q: Tensor, k: Tensor, v: Tensor, scale: float,
+              rng: np.random.Generator | None = None, p: float = 0.0,
+              training: bool = False) -> Tensor:
+    """Fused scaled-dot-product attention: ``softmax(q @ kᵀ * scale) @ v``.
+
+    One tape node with a closed-form backward, replacing the five-node
+    matmul/scale/softmax/dropout/matmul chain: the ``(B, H, S, S)`` score
+    matrix is built once, softmaxed **in place**, and only the attention
+    weights (plus the dropout mask when active) survive into the closure —
+    no per-node score/transpose temporaries on the tape.  ``scale`` is
+    applied as a python float, so float32 inputs stay float32 (a 0-d
+    float64 scale array would promote the whole chain under NEP 50).
+
+    ``rng``/``p`` fuse inverted dropout on the attention weights; the mask
+    is drawn exactly like :func:`dropout` would on the softmax output, so
+    the RNG stream matches the composed-primitive formulation bit for bit.
+    """
+    qd, kd, vd = q.data, k.data, v.data
+    scale = float(scale)
+    drop = training and p > 0.0
+    if drop and rng is None:
+        raise ValueError(
+            "attention with dropout (training=True, p > 0) requires an "
+            "explicit numpy.random.Generator (rng=...); see dropout()")
+
+    weights = np.matmul(qd, np.swapaxes(kd, -1, -2))   # (B, H, S, S)
+    weights *= scale
+    weights -= weights.max(axis=-1, keepdims=True)
+    np.exp(weights, out=weights)
+    weights /= weights.sum(axis=-1, keepdims=True)
+
+    if drop:
+        mask = (rng.random(weights.shape) >= p).astype(weights.dtype)
+        mask /= (1.0 - p)
+        out = np.matmul(weights * mask, vd)             # (B, H, S, Dh)
+    else:
+        mask = None
+        out = np.matmul(weights, vd)
+
+    if profiler.profiling_active():
+        # Two batched GEMMs (scores and context), 2 FLOPs per MAC each.
+        batch = int(np.prod(out.shape[:-2], dtype=np.int64))
+        s, dh = out.shape[-2], vd.shape[-1]
+        profiler.add_flops(4 * batch * s * weights.shape[-1] * dh,
+                           kind="attention")
+        profiler.add_gemm_calls(2 * batch)
+
+    def backward(grad: np.ndarray) -> tuple:
+        dq = dk = dv = None
+        w_used = weights if mask is None else weights * mask
+        if _needs_grad(v):
+            dv = np.matmul(np.swapaxes(w_used, -1, -2), grad)
+        if _needs_grad(q) or _needs_grad(k):
+            dw = np.matmul(grad, np.swapaxes(vd, -1, -2))
+            if mask is not None:
+                dw *= mask
+            # Softmax VJP folded in, then the scale (also a python float).
+            dot = (dw * weights).sum(axis=-1, keepdims=True)
+            dscores = weights * (dw - dot)
+            dscores *= scale
+            if _needs_grad(q):
+                dq = np.matmul(dscores, kd)
+            if _needs_grad(k):
+                dk = np.matmul(np.swapaxes(dscores, -1, -2), qd)
+        return dq, dk, dv
+
+    return Tensor._make(out, (q, k, v), backward)

@@ -14,7 +14,7 @@ import contextlib
 from dataclasses import dataclass, field
 
 __all__ = ["profile", "ProfileReport", "add_flops", "add_activation_bytes",
-           "profiling_active"]
+           "add_gemm_calls", "profiling_active"]
 
 
 @dataclass
@@ -23,6 +23,7 @@ class ProfileReport:
 
     flops: int = 0
     activation_bytes: int = 0
+    gemm_calls: int = 0
     op_counts: dict[str, int] = field(default_factory=dict)
 
     def record_op(self, kind: str) -> None:
@@ -53,6 +54,14 @@ def add_activation_bytes(nbytes: int) -> None:
     """Record bytes of a produced activation (no-op when not profiling)."""
     if _STATE.active:
         _STATE.report.activation_bytes += int(nbytes)
+
+
+def add_gemm_calls(count: int) -> None:
+    """Record ``count`` BLAS GEMM dispatches (batched matmul counts one per
+    batch element — per-group small GEMMs show up here as call inflation
+    even when the FLOP totals are identical)."""
+    if _STATE.active:
+        _STATE.report.gemm_calls += int(count)
 
 
 @contextlib.contextmanager

@@ -55,6 +55,12 @@ _GRAD_STATE = threading.local()
 # safe across worker threads — ordering only needs to be monotonic.)
 _SEQ = itertools.count()
 
+# Plan-cache state is likewise *per thread* (see ``autograd/plan.py``, which
+# owns this local): ``_PLAN_STATE.step`` is the active ``StepPlan`` while a
+# training step runs under ``plan.step(...)``, else absent/None.  Tensor
+# only ever reads it — one ``getattr`` per op when inactive.
+_PLAN_STATE = threading.local()
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -106,7 +112,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "_seq", "_order")
+                 "_seq", "_order", "_plan_tag")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -121,6 +127,8 @@ class Tensor:
         self._parents: tuple[Tensor, ...] = ()
         self._seq: int = next(_SEQ)
         self._order: list[Tensor] | None = None
+        # (step token, creation index) while recorded by an active StepPlan.
+        self._plan_tag: tuple | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -181,6 +189,9 @@ class Tensor:
         if needs:
             out._parents = tuple(parents)
             out._backward = backward
+            step = getattr(_PLAN_STATE, "step", None)
+            if step is not None:
+                step.record(out)
         return out
 
     def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
@@ -208,6 +219,12 @@ class Tensor:
         """
         order = self._order
         if order is None:
+            step = getattr(_PLAN_STATE, "step", None)
+            if step is not None:
+                order = step.cached_order(self)
+                if order is not None:
+                    self._order = order
+                    return order
             seen = {id(self)}
             order = [self]
             stack = [self]
@@ -223,6 +240,8 @@ class Tensor:
             # Children first: creation sequence numbers are a topo order.
             order.sort(key=lambda t: t._seq, reverse=True)
             self._order = order
+            if step is not None:
+                step.store_order(self, order)
         return order
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -400,19 +419,23 @@ def hardswish(a: Tensor) -> Tensor:
 
 
 def gelu(a: Tensor) -> Tensor:
-    """Tanh-approximation GELU (as used by ALBERT/transformers)."""
-    c = np.sqrt(2.0 / np.pi).astype(np.float32)
+    """Tanh-approximation GELU (as used by ALBERT/transformers).
 
-    def fwd(x):
-        return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+    The cube is expanded to ``x*x*x`` (numpy's generic ``power`` ufunc is
+    ~100x slower than two multiplies) and the forward ``tanh`` — the only
+    transcendental — is kept alive for the backward instead of being
+    recomputed.
+    """
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    x = a.data
+    t = np.tanh(c * (x + 0.044715 * (x * x * x)))
+    out = 0.5 * x * (1.0 + t)
 
-    def grad_fn(g, x, out):
-        inner = c * (x + 0.044715 * x ** 3)
-        t = np.tanh(inner)
-        dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x * x)
-        return g * (0.5 * (1.0 + t) + 0.5 * x * dt)
+    def backward(grad: np.ndarray) -> tuple:
+        dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * (x * x))
+        return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
 
-    return _unary(a, fwd, grad_fn)
+    return Tensor._make(out, (a,), backward)
 
 
 # ----------------------------------------------------------------------

@@ -45,11 +45,13 @@ class MultiHeadAttention(Module):
         q = self._split_heads(self.q_proj(x), batch, seq)
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = (q @ k.transpose((0, 1, 3, 2))) * scale       # (B,H,S,S)
-        weights = ag.softmax(scores)
-        weights = self.dropout(weights)
-        context = weights @ v                                   # (B,H,S,Dh)
+        # Single fused tape node for softmax(q·kᵀ·scale)·v with dropout on
+        # the weights; the mask stream comes from the same Dropout module
+        # RNG as before, so reseeding semantics and mask bits are unchanged.
+        context = ag.attention(
+            q, k, v, 1.0 / np.sqrt(self.head_dim),
+            rng=self.dropout.rng, p=self.dropout.p,
+            training=self.dropout.training)                 # (B,H,S,Dh)
         context = context.transpose((0, 2, 1, 3)).reshape(batch, seq, self.dim)
         return self.out_proj(context)
 

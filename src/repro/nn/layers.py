@@ -159,6 +159,12 @@ class Dropout(Module):
             seed = int(rng.integers(0, 2 ** 31 - 1))
         self._rng = np.random.default_rng(0 if seed is None else seed)
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The layer's seeded mask generator (for fused ops that draw the
+        mask themselves, e.g. :func:`repro.autograd.attention`)."""
+        return self._rng
+
     def reseed(self, seed: int) -> None:
         """Restart the mask stream from ``seed``.
 

@@ -57,3 +57,57 @@ class TestCompare:
         old.write_text(json.dumps({"a": {"seconds": 1.0}}))
         new.write_text(json.dumps({"a": {"seconds": 2.0}}))
         assert compare_bench.main([str(old), str(new)]) == 1
+
+
+class TestCounterColumns:
+    """*_bytes / *_calls leaves: lower-is-better, own threshold."""
+
+    def test_counter_growth_regresses(self):
+        old = {"results": {"conv": {"peak_alloc_bytes": 1000,
+                                    "gemm_calls": 8}}}
+        new = {"results": {"conv": {"peak_alloc_bytes": 1500,
+                                    "gemm_calls": 8}}}
+        _, regressions, _ = compare_bench.compare(old, new, 0.2)
+        assert len(regressions) == 1
+        assert "peak_alloc_bytes" in regressions[0]
+
+    def test_counter_reduction_is_fine(self):
+        old = {"results": {"conv": {"gemm_calls": 512}}}
+        new = {"results": {"conv": {"gemm_calls": 256}}}
+        report, regressions, _ = compare_bench.compare(old, new, 0.2)
+        assert len(report) == 1 and regressions == []
+
+    def test_counter_threshold_is_independent(self):
+        """A loose wall-clock threshold must not loosen the counter gate."""
+        old = {"results": {"conv": {"fwd_ops_per_sec": 100.0,
+                                    "gemm_calls": 100}}}
+        new = {"results": {"conv": {"fwd_ops_per_sec": 60.0,   # -40%: ok @0.6
+                                    "gemm_calls": 140}}}       # +40%: trips
+        _, regressions, _ = compare_bench.compare(old, new, 0.6,
+                                                  counter_threshold=0.2)
+        assert len(regressions) == 1
+        assert "gemm_calls" in regressions[0]
+
+    def test_counter_threshold_defaults_to_threshold(self):
+        old = {"results": {"conv": {"gemm_calls": 100}}}
+        new = {"results": {"conv": {"gemm_calls": 140}}}
+        _, loose, _ = compare_bench.compare(old, new, 0.5)
+        _, tight, _ = compare_bench.compare(old, new, 0.2)
+        assert loose == [] and len(tight) == 1
+
+    def test_zero_baseline_counter_skipped(self):
+        old = {"results": {"linear": {"gemm_calls": 0}}}
+        new = {"results": {"linear": {"gemm_calls": 5}}}
+        report, regressions, _ = compare_bench.compare(old, new, 0.2)
+        assert report == [] and regressions == []
+
+    def test_main_counter_flag(self, tmp_path):
+        import json
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"a": {"peak_alloc_bytes": 1000}}))
+        new.write_text(json.dumps({"a": {"peak_alloc_bytes": 1300}}))
+        assert compare_bench.main([str(old), str(new),
+                                   "--counter-threshold", "0.2"]) == 1
+        assert compare_bench.main([str(old), str(new),
+                                   "--counter-threshold", "0.4"]) == 0
